@@ -1,0 +1,57 @@
+//! Characterization-cost benches and the Eq. (1) grid-resolution ablation
+//! (DESIGN.md §5.1).
+//!
+//! The load-curve table is built once per (cell, drive state) and reused
+//! across every cluster in a design, so its cost is amortized — but the
+//! grid resolution trades characterization time against engine accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sna_cells::prelude::*;
+
+fn load_curve_grid(c: &mut Criterion) {
+    let tech = Technology::cmos130();
+    let cell = Cell::nand2(tech, 1.0);
+    let mode = cell.holding_low_mode();
+    let mut group = c.benchmark_group("characterize/load_curve_grid");
+    group.sample_size(10);
+    for grid in [9usize, 17, 33] {
+        let opts = CharacterizeOptions {
+            grid,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &opts, |b, o| {
+            b.iter(|| characterize_load_curve(&cell, &mode, std::hint::black_box(o)).expect("char"))
+        });
+    }
+    group.finish();
+}
+
+fn holding_and_thevenin(c: &mut Criterion) {
+    let tech = Technology::cmos130();
+    let nand = Cell::nand2(tech.clone(), 1.0);
+    let mode = nand.holding_low_mode();
+    c.bench_function("characterize/holding_resistance", |b| {
+        b.iter(|| holding_resistance(&nand, &mode, &Default::default()).expect("holding"))
+    });
+    let inv = Cell::inv(tech, 2.5);
+    let load = TheveninLoad::Pi {
+        c_near: 25e-15,
+        r: 120.0,
+        c_far: 40e-15,
+    };
+    let mut group = c.benchmark_group("characterize/thevenin");
+    group.sample_size(10);
+    group.bench_function("pi_load_fit", |b| {
+        b.iter(|| {
+            characterize_thevenin(&inv, true, 60e-12, std::hint::black_box(&load)).expect("fit")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = load_curve_grid, holding_and_thevenin
+}
+criterion_main!(benches);

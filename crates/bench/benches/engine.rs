@@ -1,0 +1,76 @@
+//! Criterion micro-benches of the dedicated noise engine.
+//!
+//! Covers the §3 performance story from the engine side: throughput of one
+//! cluster solve, scaling with aggressor count, and the integrator /
+//! time-step ablation of DESIGN.md §5.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sna_core::prelude::*;
+
+fn engine_throughput(c: &mut Criterion) {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build table1");
+    c.bench_function("engine/table1_solve", |b| {
+        b.iter(|| simulate_macromodel(std::hint::black_box(&model)).expect("solve"))
+    });
+}
+
+fn engine_vs_aggressor_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/aggressors");
+    for n_agg in [1usize, 2, 3] {
+        // Build an n-aggressor variant of the table-1 cluster.
+        let mut spec = if n_agg == 1 {
+            table1_spec()
+        } else {
+            table2_spec()
+        };
+        while spec.aggressors.len() < n_agg {
+            let mut extra = spec.aggressors[0].clone();
+            extra.switch_time += 50e-12;
+            spec.aggressors.push(extra);
+        }
+        spec.aggressors.truncate(n_agg);
+        spec.bus = m4_bus(&spec.tech, n_agg + 1, 500.0, 20);
+        let model = ClusterMacromodel::build(&spec).expect("build");
+        group.bench_with_input(BenchmarkId::from_parameter(n_agg), &model, |b, m| {
+            b.iter(|| simulate_macromodel(std::hint::black_box(m)).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn engine_timestep_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/timestep");
+    for dt_ps in [0.5f64, 1.0, 2.0, 4.0] {
+        let mut spec = table1_spec();
+        spec.dt = dt_ps * 1e-12;
+        let model = ClusterMacromodel::build(&spec).expect("build");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dt_ps}ps")),
+            &model,
+            |b, m| b.iter(|| simulate_macromodel(std::hint::black_box(m)).expect("solve")),
+        );
+    }
+    group.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    c.bench_function("engine/superposition_baseline", |b| {
+        b.iter(|| simulate_superposition(std::hint::black_box(&model)).expect("solve"))
+    });
+    c.bench_function("engine/zolotov_baseline", |b| {
+        b.iter(|| {
+            simulate_zolotov(std::hint::black_box(&model), &ZolotovOptions::default())
+                .expect("solve")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_throughput, engine_vs_aggressor_count, engine_timestep_ablation, baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The paper's headline speed-up (§3): golden transistor-level simulation
+//! vs the dedicated macromodel engine on the same cluster and time grid.
+//!
+//! The paper reports "about 20X with respect to ELDO™"; Criterion's
+//! `golden/*` vs `macro/*` medians regenerate that ratio (see also the
+//! plain-text `--bin speedup`, which prints the ratio directly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sna_core::prelude::*;
+
+fn golden_vs_macro(c: &mut Criterion) {
+    for (name, spec) in [("table1", table1_spec()), ("table2", table2_spec())] {
+        let model = ClusterMacromodel::build(&spec).expect("build");
+        let mut group = c.benchmark_group(format!("golden_vs_macro/{name}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("golden", name), &spec, |b, s| {
+            b.iter(|| simulate_golden(std::hint::black_box(s)).expect("golden"))
+        });
+        group.bench_with_input(BenchmarkId::new("macro", name), &model, |b, m| {
+            b.iter(|| simulate_macromodel(std::hint::black_box(m)).expect("engine"))
+        });
+        group.finish();
+    }
+}
+
+fn golden_segment_scaling(c: &mut Criterion) {
+    // Golden cost grows with extraction detail; macromodel cost does not
+    // (fixed reduced order). This is why macromodel-based SNA scales.
+    let mut group = c.benchmark_group("golden_vs_macro/segments");
+    group.sample_size(10);
+    for segments in [8usize, 20, 40] {
+        let mut spec = table1_spec();
+        spec.bus.segments = segments;
+        group.bench_with_input(BenchmarkId::new("golden", segments), &spec, |b, s| {
+            b.iter(|| simulate_golden(std::hint::black_box(s)).expect("golden"))
+        });
+        let model = ClusterMacromodel::build(&spec).expect("build");
+        group.bench_with_input(BenchmarkId::new("macro", segments), &model, |b, m| {
+            b.iter(|| simulate_macromodel(std::hint::black_box(m)).expect("engine"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, golden_vs_macro, golden_segment_scaling);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Model-order-reduction benches and the reduction-order ablation
+//! (DESIGN.md §5.2): PRIMA projection vs coupled-Π vs full ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sna_interconnect::prelude::*;
+use sna_mor::prelude::*;
+use sna_spice::netlist::Circuit;
+use sna_spice::units::UM;
+
+fn paper_net(segments: usize) -> (Circuit, Vec<WireNodes>) {
+    let w = WireGeom::new(500.0 * UM, 0.2e6, 40e-12);
+    let bus = CoupledBus::parallel_pair(w, w, 90e-12, segments);
+    let mut ckt = Circuit::new();
+    let nets = bus.instantiate(&mut ckt, "n").unwrap();
+    (ckt, nets)
+}
+
+fn reduction_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mor/reduce");
+    group.sample_size(20);
+    for segments in [10usize, 25, 50] {
+        let (ckt, nets) = paper_net(segments);
+        let ports = vec![nets[0].near, nets[1].near, nets[0].far, nets[1].far];
+        group.bench_with_input(
+            BenchmarkId::new("prima_q3", segments),
+            &(&ckt, &ports),
+            |b, (ckt, ports)| {
+                b.iter(|| prima_reduce(ckt, ports, DEFAULT_Q, DEFAULT_S0).expect("prima"))
+            },
+        );
+        let dp_ports = vec![nets[0].near, nets[1].near];
+        group.bench_with_input(
+            BenchmarkId::new("coupled_pi", segments),
+            &(&ckt, &dp_ports),
+            |b, (ckt, ports)| b.iter(|| CoupledPiModel::reduce(ckt, ports).expect("pi")),
+        );
+    }
+    group.finish();
+}
+
+fn reduced_simulation_cost(c: &mut Criterion) {
+    // Reduced-system transient vs full-ladder transient (linear victim),
+    // the core of the noise-analysis inner loop.
+    let (ckt, nets) = paper_net(25);
+    let ports = vec![nets[0].near, nets[1].near];
+    let red = prima_reduce(&ckt, &ports, DEFAULT_Q, DEFAULT_S0).expect("prima");
+    c.bench_function("mor/reduced_transient_3ns", |b| {
+        b.iter(|| {
+            red.simulate_linear(|t| vec![0.0, if t > 0.2e-9 { 1e-3 } else { 0.0 }], 1e-12, 3e-9)
+                .expect("sim")
+        })
+    });
+    let mut full = ckt.clone();
+    full.add_resistor("Rhold", nets[0].near, Circuit::gnd(), 2e3)
+        .unwrap();
+    full.add_isource(
+        "I",
+        Circuit::gnd(),
+        nets[1].near,
+        sna_spice::devices::SourceWaveform::Pulse {
+            v0: 0.0,
+            v1: 1e-3,
+            t_delay: 0.2e-9,
+            t_rise: 10e-12,
+            t_width: 2e-9,
+            t_fall: 10e-12,
+        },
+    );
+    c.bench_function("mor/full_ladder_transient_3ns", |b| {
+        b.iter(|| {
+            sna_spice::tran::transient(&full, &sna_spice::tran::TranParams::new(3e-9, 1e-12))
+                .expect("sim")
+        })
+    });
+}
+
+fn moment_computation(c: &mut Criterion) {
+    let (ckt, nets) = paper_net(25);
+    let ports = vec![nets[0].near, nets[1].near];
+    c.bench_function("mor/block_moments_3", |b| {
+        b.iter(|| port_admittance_moments(&ckt, std::hint::black_box(&ports), 3).expect("moments"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = reduction_cost, reduced_simulation_cost, moment_computation
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates **Table 2** of Forzan & Pandini (DATE 2005): "Worst-case
+//! overlapping between two aggressors and one propagating noise glitch".
+//!
+//! Paper setup: same 0.13 µm victim (2-input NAND) with **two** in-phase
+//! inverter-driven aggressors plus the propagating glitch, all overlapped.
+//! Table 2 only compares the macromodel against ELDO™ (superposition is
+//! already discredited by Table 1); we print all four methods anyway.
+//!
+//! Paper numbers:
+//!
+//! ```text
+//!                ELDO    macromodel   Err%
+//! Peak (V)       0.919   0.947        +3.1
+//! Area (V*ps)    496.2   508.7        +2.5
+//! ```
+//!
+//! Run with `cargo run --release -p sna-bench --bin table2`.
+
+use sna_core::prelude::*;
+
+fn main() {
+    let spec = table2_spec();
+    let cmp = MethodComparison::run(
+        "Table 2: two in-phase aggressors + one propagating glitch",
+        &spec,
+    )
+    .expect("table-2 cluster must simulate");
+    println!("{cmp}");
+    println!();
+    println!("paper reference (DATE'05, Table 2):");
+    println!("  our macromodel: Peak +3.1%   Area +2.5%");
+    println!();
+    println!(
+        "reproduction check: macromodel within a few % of golden \
+         (peak {:+.1}%, area {:+.1}%); golden peak {:.3} V is a large \
+         fraction of Vdd = {} V, as in the paper (0.919 V of 1.2 V)",
+        cmp.macromodel.peak_err_pct,
+        cmp.macromodel.area_err_pct,
+        cmp.golden.metrics.peak,
+        spec.tech.vdd
+    );
+}

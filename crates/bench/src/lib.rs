@@ -1,0 +1,32 @@
+//! # sna-bench — benchmark harness
+//!
+//! Binaries regenerating every table and §3 claim of Forzan & Pandini
+//! (DATE 2005), plus Criterion micro-benches:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `--bin table1` | Table 1 — injected + propagated combination |
+//! | `--bin table2` | Table 2 — two in-phase aggressors + glitch |
+//! | `--bin accuracy_sweep` | §3 "error always within few percents" (0.13 µm & 90 nm) |
+//! | `--bin speedup` | §3 "speed-up … about 20×" |
+//! | `benches/engine.rs` | engine throughput + integrator ablation |
+//! | `benches/golden_vs_macro.rs` | golden vs macromodel wall-clock |
+//! | `benches/characterization.rs` | Eq. (1) grid-resolution ablation |
+//! | `benches/mor.rs` | PRIMA vs coupled-Π reduction ablation |
+//!
+//! Run everything with `cargo bench` and the binaries with
+//! `cargo run --release -p sna-bench --bin <name>`.
+
+/// Format a signed percentage column the way the paper prints them.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:+.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fmt_pct_matches_paper_style() {
+        assert_eq!(super::fmt_pct(-22.04), "-22.0");
+        assert_eq!(super::fmt_pct(2.6), "+2.6");
+    }
+}

@@ -1,0 +1,90 @@
+//! Holding-resistance extraction.
+//!
+//! The linear victim-driver model of classical noise analysis: the
+//! small-signal resistance the (on) output network presents at the
+//! quiescent point. Superposition-based flows replace the whole cell with
+//! this one number — accurate only for vanishingly small glitches, which is
+//! exactly the failure mode the paper quantifies.
+
+use sna_spice::dc::{dc_input_conductance, NewtonOptions};
+use sna_spice::error::Result;
+
+use crate::cell::{Cell, DriverMode};
+use crate::characterize::driver_fixture;
+
+/// Extract the holding resistance (Ω) of `cell` in `mode` by small-signal
+/// probing of the output at the DC operating point.
+///
+/// # Errors
+///
+/// Propagates DC convergence failures.
+pub fn holding_resistance(cell: &Cell, mode: &DriverMode, newton: &NewtonOptions) -> Result<f64> {
+    let fx = driver_fixture(cell, mode)?;
+    let g = dc_input_conductance(&fx.ckt, fx.out, newton)?;
+    Ok(1.0 / g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use crate::characterize::{characterize_load_curve, CharacterizeOptions};
+    use crate::tech::Technology;
+
+    #[test]
+    fn nand2_holding_resistance_plausible() {
+        let t = Technology::cmos130();
+        let cell = Cell::nand2(t, 1.0);
+        let mode = cell.holding_low_mode();
+        let r = holding_resistance(&cell, &mode, &NewtonOptions::default()).unwrap();
+        // Stacked unit NMOS in 0.13um: a few hundred ohms to a few kohm.
+        assert!(r > 200.0 && r < 20e3, "r={r}");
+    }
+
+    #[test]
+    fn stronger_cell_holds_harder() {
+        let t = Technology::cmos130();
+        let c1 = Cell::nand2(t.clone(), 1.0);
+        let c4 = Cell::nand2(t, 4.0);
+        let r1 = holding_resistance(&c1, &c1.holding_low_mode(), &NewtonOptions::default()).unwrap();
+        let r4 = holding_resistance(&c4, &c4.holding_low_mode(), &NewtonOptions::default()).unwrap();
+        assert!(r4 < r1 / 3.0, "r1={r1} r4={r4}");
+    }
+
+    #[test]
+    fn holding_high_uses_pmos_and_is_weaker() {
+        // PMOS has lower kp, so the high-holding resistance of the NAND2
+        // single-PMOS mode exceeds the low-holding stacked-NMOS resistance
+        // divided by stack count... just check both are plausible and the
+        // PMOS one is larger than an equivalally-sized NMOS would give.
+        let t = Technology::cmos130();
+        let cell = Cell::inv(t, 1.0);
+        let r_low = holding_resistance(&cell, &cell.holding_low_mode(), &NewtonOptions::default())
+            .unwrap();
+        let r_high =
+            holding_resistance(&cell, &cell.holding_high_mode(), &NewtonOptions::default())
+                .unwrap();
+        assert!(r_low > 0.0 && r_high > 0.0);
+        // NMOS kp ~2.5x PMOS kp but PMOS is ~1.5x wider: net, low-holding
+        // should still be stronger (smaller R).
+        assert!(r_low < r_high, "r_low={r_low} r_high={r_high}");
+    }
+
+    #[test]
+    fn holding_resistance_consistent_with_load_curve_slope() {
+        let t = Technology::cmos130();
+        let cell = Cell::nand2(t.clone(), 1.0);
+        let mode = cell.holding_low_mode();
+        let r_probe = holding_resistance(&cell, &mode, &NewtonOptions::default()).unwrap();
+        let opts = CharacterizeOptions {
+            grid: 17,
+            ..Default::default()
+        };
+        let lc = characterize_load_curve(&cell, &mode, &opts).unwrap();
+        let r_table = 1.0 / lc.conductance(t.vdd, 0.0);
+        // Two independent extractions of the same small-signal quantity;
+        // the table's finite grid makes it approximate.
+        let rel = (r_probe - r_table).abs() / r_probe;
+        assert!(rel < 0.35, "r_probe={r_probe} r_table={r_table}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # sna-cells — technology, library cells, and characterization
+//!
+//! Transistor-level standard-cell generators over [`sna_spice`]'s level-1
+//! MOSFET, two technology nodes (0.13 µm and 90 nm, matching the paper's
+//! evaluation), and the full pre-characterization suite a static noise
+//! analysis flow needs:
+//!
+//! * the non-linear load curve `I_DC = f(V_in, V_out)` of Eq. (1) —
+//!   [`characterize::LoadCurve`];
+//! * the linear holding resistance used by superposition baselines —
+//!   [`characterize::holding_resistance`];
+//! * Thevenin aggressor drivers (saturated ramp + resistance) —
+//!   [`characterize::TheveninDriver`];
+//! * propagated-noise tables — [`characterize::PropagatedNoiseTable`].
+//!
+//! ```
+//! use sna_cells::prelude::*;
+//!
+//! # fn main() -> sna_spice::Result<()> {
+//! let tech = Technology::cmos130();
+//! let victim = Cell::nand2(tech, 1.0);
+//! let mode = victim.holding_low_mode();
+//! let opts = CharacterizeOptions { grid: 9, ..Default::default() };
+//! let curve = characterize_load_curve(&victim, &mode, &opts)?;
+//! // The restoring current saturates — the non-linearity the paper models.
+//! assert!(curve.current(victim.tech.vdd, 0.4) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod characterize;
+pub mod tech;
+
+pub use cell::{Cell, CellPorts, CellType, DriverMode};
+pub use tech::{MetalLayer, Technology};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::cell::{Cell, CellPorts, CellType, DriverMode};
+    pub use crate::characterize::{
+        characterize_load_curve, characterize_propagated_noise, characterize_thevenin,
+        driver_fixture, driver_output_caps, holding_resistance, CharacterizeOptions,
+        DriverFixture, LoadCurve, PropagatedNoiseTable, TheveninDriver, TheveninLoad,
+    };
+    pub use crate::tech::{MetalLayer, Technology};
+}

@@ -1,0 +1,150 @@
+//! Golden transistor-level reference simulation.
+//!
+//! Plays the role ELDO™ plays in the paper's Tables 1 and 2: the victim and
+//! aggressor drivers at transistor level, the full π-segmented coupled RC
+//! ladders, and capacitive receivers, integrated by `sna-spice`'s Newton
+//! transient. Every accuracy number in EXPERIMENTS.md is an error *against
+//! this simulation* — exactly the comparison methodology of the paper
+//! (their golden engine was ELDO on their device models; ours is this
+//! simulator on our device models; see DESIGN.md §2).
+
+use sna_spice::devices::SourceWaveform;
+use sna_spice::error::Result;
+use sna_spice::netlist::{Circuit, NodeId};
+use sna_spice::tran::{transient, TranParams};
+
+use crate::cluster::ClusterSpec;
+use crate::engine::NoiseWaveforms;
+
+/// Assemble the transistor-level cluster circuit. Returns the circuit plus
+/// the probe nodes `(victim_dp, victim_receiver_tap, aggressor_dps)`.
+///
+/// # Errors
+///
+/// Propagates validation and element errors.
+pub fn build_golden_circuit(
+    spec: &ClusterSpec,
+) -> Result<(Circuit, NodeId, NodeId, Vec<NodeId>)> {
+    spec.validate()?;
+    let vdd_v = spec.tech.vdd;
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource("Vdd", vdd, Circuit::gnd(), SourceWaveform::Dc(vdd_v));
+    // Interconnect.
+    let wires = spec.bus.instantiate(&mut ckt, "net")?;
+    let vic_dp = wires[0].near;
+    let vic_far = wires[0].far;
+    // Victim receiver load.
+    ckt.add_capacitor(
+        "Crecv_vic",
+        vic_far,
+        Circuit::gnd(),
+        spec.victim.receiver.input_capacitance(),
+    )?;
+    // Victim driver at transistor level, output onto the wire.
+    let mode = &spec.victim.mode;
+    let q_in = mode.input_levels[mode.noisy_input];
+    let vin_wave = match &spec.victim.glitch {
+        Some(g) => g.waveform(q_in, vdd_v),
+        None => SourceWaveform::Dc(q_in),
+    };
+    let mut vic_inputs = Vec::with_capacity(spec.victim.cell.input_count());
+    for (i, &level) in mode.input_levels.iter().enumerate() {
+        let node = ckt.node(&format!("vic_in{i}"));
+        let wave = if i == mode.noisy_input {
+            vin_wave.clone()
+        } else {
+            SourceWaveform::Dc(level)
+        };
+        ckt.add_vsource(&format!("Vvic_in{i}"), node, Circuit::gnd(), wave);
+        vic_inputs.push(node);
+    }
+    spec.victim
+        .cell
+        .instantiate(&mut ckt, "vic_drv", &vic_inputs, vic_dp, vdd)?;
+    // Aggressors: transistor drivers with input ramps; receiver caps at
+    // their far ends.
+    let mut agg_dps = Vec::with_capacity(spec.aggressors.len());
+    for (k, agg) in spec.aggressors.iter().enumerate() {
+        let agg_dp = wires[k + 1].near;
+        agg_dps.push(agg_dp);
+        if agg.receiver_cap > 0.0 {
+            ckt.add_capacitor(
+                &format!("Crecv_a{k}"),
+                wires[k + 1].far,
+                Circuit::gnd(),
+                agg.receiver_cap,
+            )?;
+        }
+        let input_rising = agg.rising ^ agg.cell.is_inverting();
+        let (v0, v1) = if input_rising { (0.0, vdd_v) } else { (vdd_v, 0.0) };
+        let inp = ckt.node(&format!("agg{k}_in"));
+        ckt.add_vsource(
+            &format!("Vagg{k}_in"),
+            inp,
+            Circuit::gnd(),
+            SourceWaveform::Ramp {
+                v0,
+                v1,
+                t_start: agg.switch_time,
+                t_rise: agg.input_slew,
+            },
+        );
+        // All driver inputs switch together (worst-case event).
+        let inputs = vec![inp; agg.cell.input_count()];
+        agg.cell
+            .instantiate(&mut ckt, &format!("agg{k}_drv"), &inputs, agg_dp, vdd)?;
+    }
+    Ok((ckt, vic_dp, vic_far, agg_dps))
+}
+
+/// Run the golden transistor-level transient.
+///
+/// # Errors
+///
+/// Propagates circuit-assembly and simulation failures.
+pub fn simulate_golden(spec: &ClusterSpec) -> Result<NoiseWaveforms> {
+    let (ckt, vic_dp, vic_far, agg_dps) = build_golden_circuit(spec)?;
+    let params = TranParams::new(spec.t_stop, spec.dt);
+    let res = transient(&ckt, &params)?;
+    Ok(NoiseWaveforms {
+        dp: res.node_waveform(vic_dp),
+        receiver: res.node_waveform(vic_far),
+        aggressor_dps: agg_dps.iter().map(|&n| res.node_waveform(n)).collect(),
+        newton_iterations: res.newton_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::table1_spec;
+
+    #[test]
+    fn golden_circuit_is_structurally_sound() {
+        let spec = table1_spec();
+        let (ckt, vic_dp, vic_far, agg_dps) = build_golden_circuit(&spec).unwrap();
+        ckt.validate().unwrap();
+        assert_ne!(vic_dp, vic_far);
+        assert_eq!(agg_dps.len(), 1);
+        // Victim driver + aggressor driver MOSFETs present.
+        assert!(ckt.find_element("vic_drv.mna").is_some());
+        assert!(ckt.find_element("agg0_drv.mn").is_some());
+        assert!(ckt.is_nonlinear());
+    }
+
+    #[test]
+    fn golden_combined_noise_plausible() {
+        let spec = table1_spec();
+        let model_q_out = spec.victim.mode.output_level;
+        let res = simulate_golden(&spec).unwrap();
+        let m = res.dp_metrics(model_q_out);
+        // Upward glitch on a low-held NAND2, clearly above the floor and
+        // below the rail.
+        assert!(m.peak > 0.1, "peak={}", m.peak);
+        assert!(m.peak < spec.tech.vdd);
+        assert_eq!(m.polarity, 1.0);
+        // Settles back.
+        assert!(res.dp.value_at(spec.t_stop).abs() < 0.05);
+    }
+}

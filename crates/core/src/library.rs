@@ -1,0 +1,278 @@
+//! Characterization cache shared across clusters.
+//!
+//! The paper's pre-characterization step ("performed … during a
+//! pre-characterization step", §2) is meant to run **once per library
+//! cell**, not once per net: a design has millions of nets but only
+//! hundreds of (cell, drive-state) pairs. [`NoiseModelLibrary`] memoizes
+//! the three per-cell artifacts —
+//!
+//! * the Eq. (1) load curve (exact reuse: it depends only on the cell and
+//!   its drive state),
+//! * the holding resistance (exact reuse),
+//! * the propagated-noise table (reused across *similar* output loads:
+//!   loads are quantized into ×1.2 geometric buckets, matching the
+//!   load-binning practice of commercial characterization flows),
+//!
+//! so an SNA run over a whole design pays characterization costs
+//! proportional to library diversity, not design size. Thevenin aggressor
+//! fits are *not* cached: they depend on the continuous Π of each specific
+//! net and are cheap relative to the rest.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sna_cells::characterize::{
+    characterize_load_curve, characterize_propagated_noise, holding_resistance,
+    CharacterizeOptions, LoadCurve, PropagatedNoiseTable,
+};
+use sna_cells::{Cell, DriverMode};
+use sna_spice::error::Result;
+use sna_spice::units::PS;
+
+/// Identity of a (cell, drive-state) pair, hashable across f64 parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    tech: String,
+    cell_tag: &'static str,
+    strength_bits: u64,
+    noisy_input: usize,
+    level_bits: Vec<u64>,
+}
+
+impl CellKey {
+    fn new(cell: &Cell, mode: &DriverMode) -> Self {
+        CellKey {
+            tech: cell.tech.name.clone(),
+            cell_tag: cell.cell_type.tag(),
+            strength_bits: cell.strength.to_bits(),
+            noisy_input: mode.noisy_input,
+            level_bits: mode.input_levels.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+}
+
+/// Geometric load bucket (×1.2 steps) for propagated-noise tables.
+fn load_bucket(cap: f64) -> i32 {
+    debug_assert!(cap > 0.0);
+    (cap.ln() / 1.2_f64.ln()).round() as i32
+}
+
+/// Representative capacitance of a bucket (its geometric center).
+fn bucket_cap(bucket: i32) -> f64 {
+    1.2_f64.powi(bucket)
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibraryStats {
+    /// Cache hits across all artifact kinds.
+    pub hits: usize,
+    /// Cache misses (characterizations actually run).
+    pub misses: usize,
+}
+
+/// Memoizing store of per-cell noise-characterization artifacts.
+#[derive(Debug, Default)]
+pub struct NoiseModelLibrary {
+    load_curves: HashMap<(CellKey, usize), Arc<LoadCurve>>,
+    holding: HashMap<CellKey, f64>,
+    prop_tables: HashMap<(CellKey, i32), Arc<PropagatedNoiseTable>>,
+    stats: LibraryStats,
+}
+
+impl NoiseModelLibrary {
+    /// Create an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> LibraryStats {
+        self.stats
+    }
+
+    /// Number of distinct artifacts stored.
+    pub fn len(&self) -> usize {
+        self.load_curves.len() + self.holding.len() + self.prop_tables.len()
+    }
+
+    /// Whether nothing has been characterized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Eq. (1) load curve for `(cell, mode)` at the grid in `opts`,
+    /// characterized on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures (which are then *not* cached).
+    pub fn load_curve(
+        &mut self,
+        cell: &Cell,
+        mode: &DriverMode,
+        opts: &CharacterizeOptions,
+    ) -> Result<Arc<LoadCurve>> {
+        let key = (CellKey::new(cell, mode), opts.grid);
+        if let Some(hit) = self.load_curves.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        self.stats.misses += 1;
+        let lc = Arc::new(characterize_load_curve(cell, mode, opts)?);
+        self.load_curves.insert(key, Arc::clone(&lc));
+        Ok(lc)
+    }
+
+    /// Holding resistance for `(cell, mode)`, characterized on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn holding_resistance(
+        &mut self,
+        cell: &Cell,
+        mode: &DriverMode,
+        opts: &CharacterizeOptions,
+    ) -> Result<f64> {
+        let key = CellKey::new(cell, mode);
+        if let Some(&hit) = self.holding.get(&key) {
+            self.stats.hits += 1;
+            return Ok(hit);
+        }
+        self.stats.misses += 1;
+        let r = holding_resistance(cell, mode, &opts.newton)?;
+        self.holding.insert(key, r);
+        Ok(r)
+    }
+
+    /// Propagated-noise table for `(cell, mode)` at the load bucket
+    /// containing `load_cap`. The characterization runs at the bucket's
+    /// representative load, so all nets in the same ×1.2 bucket share one
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn propagated_table(
+        &mut self,
+        cell: &Cell,
+        mode: &DriverMode,
+        load_cap: f64,
+    ) -> Result<Arc<PropagatedNoiseTable>> {
+        let bucket = load_bucket(load_cap);
+        let key = (CellKey::new(cell, mode), bucket);
+        if let Some(hit) = self.prop_tables.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        self.stats.misses += 1;
+        let vdd = cell.tech.vdd;
+        let heights: Vec<f64> = [0.25, 0.45, 0.65, 0.85, 1.05]
+            .iter()
+            .map(|f| f * vdd)
+            .collect();
+        let widths: Vec<f64> = [150.0, 300.0, 600.0, 1200.0].iter().map(|w| w * PS).collect();
+        let table = Arc::new(characterize_propagated_noise(
+            cell,
+            mode,
+            bucket_cap(bucket),
+            &heights,
+            &widths,
+        )?);
+        self.prop_tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_cells::Technology;
+
+    #[test]
+    fn load_curve_cached_by_cell_and_mode() {
+        let tech = Technology::cmos130();
+        let cell = Cell::nand2(tech.clone(), 1.0);
+        let mode = cell.holding_low_mode();
+        let opts = CharacterizeOptions {
+            grid: 9,
+            ..Default::default()
+        };
+        let mut lib = NoiseModelLibrary::new();
+        let a = lib.load_curve(&cell, &mode, &opts).unwrap();
+        assert_eq!(lib.stats(), LibraryStats { hits: 0, misses: 1 });
+        let b = lib.load_curve(&cell, &mode, &opts).unwrap();
+        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different mode = different artifact.
+        let high = cell.holding_high_mode();
+        let c = lib.load_curve(&cell, &high, &opts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(lib.stats().misses, 2);
+        // Different strength = different artifact.
+        let cell4 = Cell::nand2(tech, 4.0);
+        let mode4 = cell4.holding_low_mode();
+        lib.load_curve(&cell4, &mode4, &opts).unwrap();
+        assert_eq!(lib.stats().misses, 3);
+        assert_eq!(lib.len(), 3);
+    }
+
+    #[test]
+    fn grid_is_part_of_the_key() {
+        let tech = Technology::cmos130();
+        let cell = Cell::inv(tech, 1.0);
+        let mode = cell.holding_low_mode();
+        let mut lib = NoiseModelLibrary::new();
+        let coarse = CharacterizeOptions {
+            grid: 5,
+            ..Default::default()
+        };
+        let fine = CharacterizeOptions {
+            grid: 9,
+            ..Default::default()
+        };
+        lib.load_curve(&cell, &mode, &coarse).unwrap();
+        lib.load_curve(&cell, &mode, &fine).unwrap();
+        assert_eq!(lib.stats().misses, 2);
+    }
+
+    #[test]
+    fn prop_tables_bucket_similar_loads() {
+        let tech = Technology::cmos130();
+        let cell = Cell::inv(tech, 1.0);
+        let mode = cell.holding_low_mode();
+        let mut lib = NoiseModelLibrary::new();
+        let a = lib.propagated_table(&cell, &mode, 50e-15).unwrap();
+        // +5% load: same bucket, cache hit.
+        let b = lib.propagated_table(&cell, &mode, 52.5e-15).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+        // 3x load: different bucket.
+        let c = lib.propagated_table(&cell, &mode, 150e-15).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn bucketing_is_geometric() {
+        assert_eq!(load_bucket(50e-15), load_bucket(52e-15));
+        assert_ne!(load_bucket(50e-15), load_bucket(80e-15));
+        // Representative load is within one step of any member.
+        let b = load_bucket(60e-15);
+        let rep = bucket_cap(b);
+        assert!(rep / 60e-15 < 1.2 && 60e-15 / rep < 1.2);
+    }
+
+    #[test]
+    fn holding_resistance_cached() {
+        let tech = Technology::cmos130();
+        let cell = Cell::nand2(tech, 1.0);
+        let mode = cell.holding_low_mode();
+        let mut lib = NoiseModelLibrary::new();
+        let opts = CharacterizeOptions::default();
+        let r1 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
+        let r2 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+    }
+}

@@ -1,0 +1,216 @@
+//! Noise Rejection Curves (NRC).
+//!
+//! The sign-off criterion of §1: "the noise at the victim receiver is
+//! compared against dynamic noise margins, represented by the Noise
+//! Rejection Curve. When the noise waveform width and amplitude are in the
+//! NRC failure region (above the curve), the noise analysis tool flags an
+//! error."
+//!
+//! A receiver's NRC is characterized transistor-level: for each glitch
+//! width, bisect on the glitch height until the receiver's output crosses
+//! half-rail (a momentary logic upset). Narrow glitches are filtered by the
+//! receiver's own dynamics, so the failure height rises as width shrinks —
+//! the classic L-shaped rejection curve.
+
+use serde::{Deserialize, Serialize};
+use sna_cells::characterize::driver_fixture;
+use sna_cells::Cell;
+use sna_spice::devices::SourceWaveform;
+use sna_spice::error::{Error, Result};
+use sna_spice::netlist::Circuit;
+use sna_spice::tran::{transient, TranParams};
+use sna_spice::waveform::GlitchMetrics;
+
+/// A characterized noise rejection curve for one receiver cell and input
+/// polarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseRejectionCurve {
+    /// Glitch widths (s), ascending.
+    pub widths: Vec<f64>,
+    /// Minimal failing glitch height (V) per width.
+    pub fail_heights: Vec<f64>,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl NoiseRejectionCurve {
+    /// Failure-threshold height at `width` (linear interpolation, clamped).
+    pub fn threshold(&self, width: f64) -> f64 {
+        let ws = &self.widths;
+        if width <= ws[0] {
+            return self.fail_heights[0];
+        }
+        if width >= ws[ws.len() - 1] {
+            return self.fail_heights[ws.len() - 1];
+        }
+        let hi = ws.partition_point(|&w| w <= width);
+        let lo = hi - 1;
+        let f = (width - ws[lo]) / (ws[hi] - ws[lo]);
+        self.fail_heights[lo] + f * (self.fail_heights[hi] - self.fail_heights[lo])
+    }
+
+    /// Whether a glitch of `(width, height)` lies in the failure region.
+    pub fn fails(&self, width: f64, height: f64) -> bool {
+        height >= self.threshold(width)
+    }
+
+    /// Noise margin (V): threshold minus height; negative = failing.
+    pub fn margin(&self, width: f64, height: f64) -> f64 {
+        self.threshold(width) - height
+    }
+
+    /// Classify glitch metrics (uses the 50 % width as the NRC width
+    /// coordinate, the convention of table-driven sign-off).
+    pub fn classify(&self, m: &GlitchMetrics) -> bool {
+        self.fails(m.width, m.peak)
+    }
+}
+
+/// Characterize the NRC of `receiver` for an upward glitch on a quiescent-
+/// low input (`input_low = true`) or a downward glitch on a quiescent-high
+/// input. `widths` are the triangular glitch base widths to characterize.
+///
+/// # Errors
+///
+/// Fails on empty width grids or simulator errors.
+pub fn characterize_nrc(
+    receiver: &Cell,
+    input_low: bool,
+    widths: &[f64],
+) -> Result<NoiseRejectionCurve> {
+    if widths.len() < 2 {
+        return Err(Error::InvalidAnalysis("NRC needs at least 2 widths".into()));
+    }
+    let vdd = receiver.tech.vdd;
+    // Receiver drive state: input low means the cell holds its output in
+    // the state implied by a low noisy input — i.e. the holding-high mode
+    // for an inverting receiver.
+    let mode = if input_low {
+        receiver.holding_high_mode()
+    } else {
+        receiver.holding_low_mode()
+    };
+    let q_in = mode.input_levels[mode.noisy_input];
+    let q_out = mode.output_level;
+    let sign = if input_low { 1.0 } else { -1.0 };
+    let mut fx = driver_fixture(receiver, &mode)?;
+    // Typical fanout load on the receiver's output.
+    fx.ckt.add_capacitor(
+        "Cload",
+        fx.out,
+        Circuit::gnd(),
+        2.0 * receiver.input_capacitance(),
+    )?;
+    let half = 0.5 * vdd;
+    let mut fail_heights = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let fails_at = |h: f64, fx: &mut sna_cells::characterize::DriverFixture| -> Result<bool> {
+            let t_start = 50e-12;
+            fx.ckt.set_source_wave(
+                &fx.noisy_source,
+                SourceWaveform::TriangleGlitch {
+                    v_base: q_in,
+                    v_peak: q_in + sign * h,
+                    t_start,
+                    t_rise: 0.5 * w,
+                    t_fall: 0.5 * w,
+                },
+            )?;
+            let horizon = t_start + 2.5 * w + 1.0e-9;
+            let dt = (w / 150.0).clamp(0.5e-12, 2e-12);
+            let res = transient(&fx.ckt, &TranParams::new(horizon, dt))?;
+            let out = res.node_waveform(fx.out);
+            let crossed = if q_out > half {
+                out.min_value() < half
+            } else {
+                out.max_value() > half
+            };
+            Ok(crossed)
+        };
+        // Bisection over height.
+        let mut lo = 0.05 * vdd;
+        let mut hi = 1.5 * vdd;
+        if !fails_at(hi, &mut fx)? {
+            // Even a rail-and-a-half glitch does not upset: record the cap.
+            fail_heights.push(hi);
+            continue;
+        }
+        for _ in 0..12 {
+            let mid = 0.5 * (lo + hi);
+            if fails_at(mid, &mut fx)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        fail_heights.push(0.5 * (lo + hi));
+    }
+    Ok(NoiseRejectionCurve {
+        widths: widths.to_vec(),
+        fail_heights,
+        vdd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_cells::Technology;
+    use sna_spice::units::PS;
+
+    fn inv_nrc() -> NoiseRejectionCurve {
+        let t = Technology::cmos130();
+        let inv = Cell::inv(t, 1.0);
+        characterize_nrc(&inv, true, &[100.0 * PS, 300.0 * PS, 900.0 * PS]).unwrap()
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing_in_width() {
+        let nrc = inv_nrc();
+        for w in nrc.fail_heights.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-6,
+                "NRC should reject taller narrow glitches: {:?}",
+                nrc.fail_heights
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_physically_plausible() {
+        let nrc = inv_nrc();
+        // Wide glitches fail somewhere between the device threshold and
+        // the rail; narrow ones need more.
+        let wide = nrc.threshold(900.0 * PS);
+        assert!(wide > 0.3 && wide < 1.2, "wide threshold {wide}");
+        let narrow = nrc.threshold(100.0 * PS);
+        assert!(narrow > wide, "narrow {narrow} <= wide {wide}");
+    }
+
+    #[test]
+    fn classification_and_margin() {
+        let nrc = inv_nrc();
+        let thr = nrc.threshold(300.0 * PS);
+        assert!(nrc.fails(300.0 * PS, thr + 0.05));
+        assert!(!nrc.fails(300.0 * PS, thr - 0.05));
+        assert!(nrc.margin(300.0 * PS, thr - 0.05) > 0.0);
+        assert!(nrc.margin(300.0 * PS, thr + 0.05) < 0.0);
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_grid() {
+        let nrc = inv_nrc();
+        assert_eq!(nrc.threshold(1.0 * PS), nrc.fail_heights[0]);
+        assert_eq!(
+            nrc.threshold(1e-6),
+            nrc.fail_heights[nrc.fail_heights.len() - 1]
+        );
+    }
+
+    #[test]
+    fn too_few_widths_rejected() {
+        let t = Technology::cmos130();
+        let inv = Cell::inv(t, 1.0);
+        assert!(characterize_nrc(&inv, true, &[100.0 * PS]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Canonical cluster scenarios from the paper's evaluation.
+//!
+//! * [`table1_spec`] — §3 / Table 1: 0.13 µm, two 500 µm parallel M4
+//!   wires, INV aggressor, NAND2 victim, one rising aggressor plus one
+//!   glitch propagating through the victim driver.
+//! * [`table2_spec`] — §3 / Table 2: two in-phase aggressors and one
+//!   propagating glitch, worst-case overlapped.
+//! * [`sweep_specs`] — §3 accuracy-claim sweep: "several noise clusters in
+//!   0.13 µm and 90 nm technology" across wire lengths, aggressor counts,
+//!   victim cells, and glitch presence.
+
+use sna_cells::characterize::CharacterizeOptions;
+use sna_cells::{Cell, CellType, Technology};
+use sna_interconnect::{CoupledBus, CouplingGeom, WireGeom};
+use sna_spice::units::{NS, PS, UM};
+
+use crate::cluster::{AggressorSpec, ClusterSpec, InputGlitch, VictimSpec};
+
+/// Characterization grid used by the scenarios (33² per the DESIGN.md
+/// default; override `char_opts` for the resolution ablation).
+fn default_opts() -> CharacterizeOptions {
+    CharacterizeOptions::default()
+}
+
+/// Bus of `n` parallel wires of `len_um` µm on the technology's metal-4,
+/// with nearest-neighbor coupling; wire 0 is the victim.
+pub fn m4_bus(tech: &Technology, n: usize, len_um: f64, segments: usize) -> CoupledBus {
+    let m4 = tech.metal(4);
+    let wire = WireGeom::new(len_um * UM, m4.r_per_m, m4.cg_per_m);
+    let wires = vec![wire; n];
+    let couplings = (0..n.saturating_sub(1))
+        .map(|i| CouplingGeom::full(i, i + 1, m4.cc_per_m))
+        .collect();
+    CoupledBus::new(wires, couplings, segments).expect("static bus topology")
+}
+
+/// The Table-1 cluster. The glitch timing places the propagated peak on
+/// top of the injected peak (worst case, as in the paper's combination
+/// experiment).
+pub fn table1_spec() -> ClusterSpec {
+    let tech = Technology::cmos130();
+    let bus = {
+        let m4 = tech.metal(4);
+        let wire = WireGeom::new(500.0 * UM, m4.r_per_m, m4.cg_per_m);
+        CoupledBus::parallel_pair(wire, wire, m4.cc_per_m, 20)
+    };
+    let victim_cell = Cell::nand2(tech.clone(), 1.0);
+    let mode = victim_cell.holding_low_mode();
+    ClusterSpec {
+        tech: tech.clone(),
+        victim: VictimSpec {
+            cell: victim_cell,
+            mode,
+            glitch: Some(InputGlitch {
+                height: 0.55 * tech.vdd,
+                width: 600.0 * PS,
+                t_peak: 0.55 * NS,
+            }),
+            receiver: Cell::inv(tech.clone(), 1.0),
+        },
+        aggressors: vec![AggressorSpec {
+            cell: Cell::inv(tech.clone(), 2.5),
+            rising: true,
+            input_slew: 60.0 * PS,
+            switch_time: 0.4 * NS,
+            receiver_cap: Cell::inv(tech, 1.0).input_capacitance(),
+        }],
+        bus,
+        char_opts: default_opts(),
+        t_stop: 3.0 * NS,
+        dt: 1.0 * PS,
+    }
+}
+
+/// The Table-2 cluster: two in-phase aggressors flanking the victim plus
+/// the same propagating glitch ("worst-case overlapping").
+pub fn table2_spec() -> ClusterSpec {
+    let tech = Technology::cmos130();
+    let bus = m4_bus(&tech, 3, 500.0, 20);
+    // Victim in the middle: reorder couplings so wire 0 (victim) couples to
+    // both wires 1 and 2.
+    let m4 = tech.metal(4);
+    let wire = WireGeom::new(500.0 * UM, m4.r_per_m, m4.cg_per_m);
+    let bus = CoupledBus::new(
+        vec![wire; 3],
+        vec![
+            CouplingGeom::full(0, 1, m4.cc_per_m),
+            CouplingGeom::full(0, 2, m4.cc_per_m),
+        ],
+        bus.segments,
+    )
+    .expect("static bus topology");
+    let victim_cell = Cell::nand2(tech.clone(), 1.0);
+    let mode = victim_cell.holding_low_mode();
+    let agg = |_k: usize| AggressorSpec {
+        cell: Cell::inv(tech.clone(), 2.5),
+        rising: true,
+        input_slew: 60.0 * PS,
+        switch_time: 0.4 * NS,
+        receiver_cap: Cell::inv(tech.clone(), 1.0).input_capacitance(),
+    };
+    ClusterSpec {
+        tech: tech.clone(),
+        victim: VictimSpec {
+            cell: victim_cell,
+            mode,
+            glitch: Some(InputGlitch {
+                height: 0.55 * tech.vdd,
+                width: 600.0 * PS,
+                t_peak: 0.55 * NS,
+            }),
+            receiver: Cell::inv(tech.clone(), 1.0),
+        },
+        aggressors: vec![agg(0), agg(1)],
+        bus,
+        char_opts: default_opts(),
+        t_stop: 3.0 * NS,
+        dt: 1.0 * PS,
+    }
+}
+
+/// Table-1 variant with the opposite polarities: the victim holds its
+/// output *high* (single-PMOS NAND2 holding state) and the aggressor output
+/// *falls*, producing a downward combined glitch. Exercises the "different
+/// switching directions" extension of §2.
+pub fn falling_spec() -> ClusterSpec {
+    let mut spec = table1_spec();
+    spec.victim.mode = spec.victim.cell.holding_high_mode();
+    spec.aggressors[0].rising = false;
+    spec
+}
+
+/// Table-2 variant with anti-phase aggressors (one rising, one falling,
+/// simultaneous): their injected contributions largely cancel at the
+/// victim, and the anti-phase Miller factor (2×) applies between them.
+pub fn mixed_phase_spec() -> ClusterSpec {
+    let mut spec = table2_spec();
+    spec.aggressors[1].rising = false;
+    spec
+}
+
+/// One entry of the §3 accuracy sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCase {
+    /// Human-readable id, e.g. `cmos130/nand2/len500/agg2/glitch`.
+    pub id: String,
+    /// The cluster.
+    pub spec: ClusterSpec,
+}
+
+/// Generate the §3 sweep: both technologies, several wire lengths,
+/// aggressor counts, victim cells, with and without a propagating glitch.
+///
+/// `quick` trims the matrix (used by tests; benches run the full set).
+pub fn sweep_specs(quick: bool) -> Vec<SweepCase> {
+    let mut cases = Vec::new();
+    let techs = [Technology::cmos130(), Technology::cmos90()];
+    let lengths: &[f64] = if quick { &[500.0] } else { &[250.0, 500.0, 1000.0] };
+    let agg_counts: &[usize] = if quick { &[1] } else { &[1, 2, 3] };
+    let victims: &[CellType] = if quick {
+        &[CellType::Nand2]
+    } else {
+        &[CellType::Inv, CellType::Nand2, CellType::Nor2]
+    };
+    let glitch_opts: &[bool] = if quick { &[true] } else { &[false, true] };
+    for tech in &techs {
+        for &len in lengths {
+            for &n_agg in agg_counts {
+                for &vt in victims {
+                    for &with_glitch in glitch_opts {
+                        let victim_cell = Cell::new(vt, tech.clone(), 1.0);
+                        let mode = victim_cell.holding_low_mode();
+                        let bus = m4_bus(tech, n_agg + 1, len, 16);
+                        let glitch = if with_glitch {
+                            Some(InputGlitch {
+                                height: 0.75 * tech.vdd,
+                                width: 500.0 * PS,
+                                t_peak: 0.55 * NS,
+                            })
+                        } else {
+                            None
+                        };
+                        let aggressors = (0..n_agg)
+                            .map(|_| AggressorSpec {
+                                cell: Cell::inv(tech.clone(), 2.5),
+                                rising: true,
+                                input_slew: 70.0 * PS,
+                                switch_time: 0.4 * NS,
+                                receiver_cap: Cell::inv(tech.clone(), 1.0).input_capacitance(),
+                            })
+                            .collect();
+                        let id = format!(
+                            "{}/{}/len{}/agg{}/{}",
+                            tech.name,
+                            vt.tag(),
+                            len as usize,
+                            n_agg,
+                            if with_glitch { "glitch" } else { "quiet" }
+                        );
+                        cases.push(SweepCase {
+                            id,
+                            spec: ClusterSpec {
+                                tech: tech.clone(),
+                                victim: VictimSpec {
+                                    cell: victim_cell,
+                                    mode,
+                                    glitch,
+                                    receiver: Cell::inv(tech.clone(), 1.0),
+                                },
+                                aggressors,
+                                bus,
+                                char_opts: default_opts(),
+                                t_stop: 3.0 * NS,
+                                dt: 1.0 * PS,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_setup() {
+        let s = table1_spec();
+        assert_eq!(s.tech.name, "cmos130");
+        assert_eq!(s.aggressors.len(), 1);
+        assert_eq!(s.bus.wires.len(), 2);
+        assert!((s.bus.wires[0].length - 500.0 * UM).abs() < 1e-12);
+        assert_eq!(s.victim.cell.cell_type, CellType::Nand2);
+        assert!(s.victim.glitch.is_some());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn table2_has_two_inphase_aggressors() {
+        let s = table2_spec();
+        assert_eq!(s.aggressors.len(), 2);
+        assert_eq!(s.aggressors[0].switch_time, s.aggressors[1].switch_time);
+        assert!(s.victim.glitch.is_some());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn sweep_covers_both_technologies() {
+        let cases = sweep_specs(false);
+        assert!(cases.len() >= 100, "sweep has {} cases", cases.len());
+        assert!(cases.iter().any(|c| c.id.starts_with("cmos130")));
+        assert!(cases.iter().any(|c| c.id.starts_with("cmos90")));
+        assert!(cases.iter().any(|c| c.id.ends_with("quiet")));
+        for c in cases.iter().take(5) {
+            c.spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn quick_sweep_is_small() {
+        let cases = sweep_specs(true);
+        assert!(cases.len() <= 4, "quick sweep has {}", cases.len());
+    }
+}

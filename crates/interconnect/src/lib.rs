@@ -1,0 +1,36 @@
+//! # sna-interconnect — coupled-RC interconnect construction
+//!
+//! Deterministic layout-extraction stand-in for the paper's "wiring
+//! parasitics extracted from two 500 µm parallel-running interconnects":
+//! wire geometry ([`geometry::WireGeom`], [`geometry::CouplingGeom`]) plus a
+//! π-segmented coupled-ladder builder ([`bus::CoupledBus`]) that
+//! instantiates directly into an [`sna_spice`] circuit.
+//!
+//! ```
+//! use sna_interconnect::prelude::*;
+//! use sna_spice::netlist::Circuit;
+//!
+//! # fn main() -> sna_spice::Result<()> {
+//! // The paper's Table-1 geometry: two 500 um parallel M4 wires.
+//! let wire = WireGeom::new(500e-6, 0.2e6, 40e-12);
+//! let bus = CoupledBus::parallel_pair(wire, wire, 90e-12, 20);
+//! let mut ckt = Circuit::new();
+//! let nets = bus.instantiate(&mut ckt, "cluster")?;
+//! assert_eq!(nets.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod geometry;
+
+pub use bus::{CoupledBus, WireNodes};
+pub use geometry::{CouplingGeom, WireGeom};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::bus::{CoupledBus, WireNodes};
+    pub use crate::geometry::{CouplingGeom, WireGeom};
+}

@@ -1,0 +1,481 @@
+//! DC operating-point analysis and sweeps.
+//!
+//! Newton–Raphson on the MNA system with step damping; if plain Newton
+//! stalls, the solver falls back to gmin stepping and then source stepping —
+//! the standard SPICE continuation ladder. DC sweeps warm-start every point
+//! from the previous solution, which is what makes the 33×33 load-curve
+//! characterization grids (paper Eq. 1) cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::linalg::DenseMatrix;
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// Newton iteration controls shared by DC and transient analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NewtonOptions {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance (V) on the Newton update.
+    pub vntol: f64,
+    /// Relative tolerance on the Newton update.
+    pub reltol: f64,
+    /// Absolute KCL residual tolerance (A).
+    pub abstol: f64,
+    /// Maximum per-iteration voltage change (V); larger updates are scaled
+    /// down (damping). Critical for MOSFET circuits started far from the
+    /// solution.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            vntol: 1e-6,
+            reltol: 1e-4,
+            abstol: 1e-9,
+            max_step: 0.3,
+        }
+    }
+}
+
+/// Solution of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_nodes: usize,
+    vsource_names: Vec<String>,
+    /// Newton iterations spent (diagnostic).
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of `node` (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current of the named voltage source (SPICE convention:
+    /// positive flows from the + terminal through the source to −).
+    pub fn vsource_current(&self, name: &str) -> Option<f64> {
+        self.vsource_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .map(|k| self.x[self.n_nodes + k])
+    }
+
+    /// Raw unknown vector (nodes then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Solve one Newton problem: `(G + extra_gmin·I)x + f(x) = b`, warm-started
+/// at `x0`. Returns `(x, iterations)`.
+fn newton_solve(
+    circuit: &Circuit,
+    mna: &MnaSystem,
+    b: &[f64],
+    x0: &[f64],
+    opts: &NewtonOptions,
+    extra_gmin: f64,
+    analysis: &'static str,
+    time: f64,
+) -> Result<(Vec<f64>, usize)> {
+    let dim = mna.dim();
+    let n_nodes = mna.n_nodes();
+    let mut x = x0.to_vec();
+    // Purely linear circuits: one direct solve.
+    if !mna.has_nonlinear() && extra_gmin == 0.0 {
+        let x = mna.g_matrix().lu()?.solve(b);
+        return Ok((x, 1));
+    }
+    let mut jac = DenseMatrix::zeros(dim, dim);
+    let mut residual = vec![0.0; dim];
+    for it in 0..opts.max_iter {
+        // residual = G x + f(x) - b ; jac = G + df/dx (+ gmin).
+        jac.clear();
+        jac.axpy(1.0, mna.g_matrix());
+        for i in 0..n_nodes {
+            jac.add(i, i, extra_gmin);
+        }
+        let gx = mna.g_matrix().mul_vec(&x);
+        for i in 0..dim {
+            residual[i] = gx[i] - b[i];
+        }
+        for (i, r) in residual.iter_mut().enumerate().take(n_nodes) {
+            *r += extra_gmin * x[i];
+        }
+        mna.stamp_nonlinear(circuit, &x, &mut residual, Some(&mut jac));
+        let max_res = residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        // Newton step: J dx = -residual.
+        let neg_res: Vec<f64> = residual.iter().map(|&r| -r).collect();
+        let dx = jac.lu()?.solve(&neg_res);
+        // Damping.
+        let max_dx = dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        let scale = if max_dx > opts.max_step {
+            opts.max_step / max_dx
+        } else {
+            1.0
+        };
+        let mut converged = max_res < opts.abstol.max(1e-12);
+        for i in 0..dim {
+            let step = scale * dx[i];
+            x[i] += step;
+            if step.abs() > opts.reltol * x[i].abs() + opts.vntol {
+                converged = false;
+            }
+        }
+        if converged && scale == 1.0 {
+            return Ok((x, it + 1));
+        }
+    }
+    // Final residual for the error report.
+    let gx = mna.g_matrix().mul_vec(&x);
+    let mut residual: Vec<f64> = gx.iter().zip(b).map(|(g, b)| g - b).collect();
+    mna.stamp_nonlinear(circuit, &x, &mut residual, None);
+    let max_res = residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+    Err(Error::NonConvergence {
+        analysis,
+        iterations: opts.max_iter,
+        time,
+        residual: max_res,
+    })
+}
+
+fn vsource_names(circuit: &Circuit, mna: &MnaSystem) -> Vec<String> {
+    mna.vsources()
+        .iter()
+        .map(|id| circuit.element(*id).name().to_string())
+        .collect()
+}
+
+/// Compute the DC operating point with full continuation fallbacks.
+///
+/// `warm_start` (raw unknown vector from a previous [`DcSolution`]) seeds
+/// Newton; sweeps should always pass the previous point.
+///
+/// # Errors
+///
+/// [`Error::NonConvergence`] if plain Newton, gmin stepping, and source
+/// stepping all fail; [`Error::SingularMatrix`] on structurally singular
+/// circuits.
+pub fn dc_operating_point(
+    circuit: &Circuit,
+    opts: &NewtonOptions,
+    warm_start: Option<&[f64]>,
+) -> Result<DcSolution> {
+    let mna = MnaSystem::new(circuit)?;
+    let dim = mna.dim();
+    let b = mna.rhs(circuit, 0.0, 1.0);
+    let x0: Vec<f64> = match warm_start {
+        Some(w) if w.len() == dim => w.to_vec(),
+        _ => vec![0.0; dim],
+    };
+    // 1. Plain Newton.
+    if let Ok((x, iterations)) = newton_solve(circuit, &mna, &b, &x0, opts, 0.0, "dc", 0.0) {
+        return Ok(DcSolution {
+            x,
+            n_nodes: mna.n_nodes(),
+            vsource_names: vsource_names(circuit, &mna),
+            iterations,
+        });
+    }
+    // 2. Gmin stepping: heavy shunt conductance, relaxed geometrically.
+    let mut x = x0.clone();
+    let mut total_iters = 0;
+    let mut gmin = 1e-2;
+    let mut ok = true;
+    while gmin > 1e-13 {
+        match newton_solve(circuit, &mna, &b, &x, opts, gmin, "dc-gmin", 0.0) {
+            Ok((xs, it)) => {
+                x = xs;
+                total_iters += it;
+            }
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+        gmin *= 0.1;
+    }
+    if ok {
+        if let Ok((x, it)) = newton_solve(circuit, &mna, &b, &x, opts, 0.0, "dc-gmin", 0.0) {
+            return Ok(DcSolution {
+                x,
+                n_nodes: mna.n_nodes(),
+                vsource_names: vsource_names(circuit, &mna),
+                iterations: total_iters + it,
+            });
+        }
+    }
+    // 3. Source stepping.
+    let mut x = vec![0.0; dim];
+    let mut total_iters = 0;
+    let steps = 20;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        let bk = mna.rhs(circuit, 0.0, scale);
+        let (xs, it) = newton_solve(circuit, &mna, &bk, &x, opts, 0.0, "dc-srcstep", 0.0)?;
+        x = xs;
+        total_iters += it;
+    }
+    Ok(DcSolution {
+        x,
+        n_nodes: mna.n_nodes(),
+        vsource_names: vsource_names(circuit, &mna),
+        iterations: total_iters,
+    })
+}
+
+/// Sweep the DC value of the named voltage source over `values`,
+/// warm-starting each point. Returns one solution per value.
+///
+/// # Errors
+///
+/// Fails if the source does not exist or any point fails to converge.
+pub fn dc_sweep(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<DcSolution>> {
+    if values.is_empty() {
+        return Err(Error::InvalidAnalysis("empty DC sweep".into()));
+    }
+    let mut out = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &v in values {
+        circuit.set_source_wave(source, crate::devices::SourceWaveform::Dc(v))?;
+        let sol = dc_operating_point(circuit, opts, warm.as_deref())?;
+        warm = Some(sol.unknowns().to_vec());
+        out.push(sol);
+    }
+    Ok(out)
+}
+
+/// Small-signal conductance seen into `node` from ground, by finite
+/// difference of an injected probe current around the operating point.
+///
+/// This is how the *holding resistance* of a victim driver is extracted for
+/// the linear-superposition baseline: `R_hold = 1 / conductance`.
+///
+/// # Errors
+///
+/// Propagates DC convergence failures.
+pub fn dc_input_conductance(
+    circuit: &Circuit,
+    node: NodeId,
+    opts: &NewtonOptions,
+) -> Result<f64> {
+    let base = dc_operating_point(circuit, opts, None)?;
+    let v0 = base.voltage(node);
+    // Inject a small probe current and measure the voltage shift.
+    let i_probe = 1e-6;
+    let mut probed = circuit.clone();
+    probed.add_isource(
+        "__gprobe",
+        Circuit::gnd(),
+        node,
+        crate::devices::SourceWaveform::Dc(i_probe),
+    );
+    let sol = dc_operating_point(&probed, opts, Some(base.unknowns()))?;
+    let v1 = sol.voltage(node);
+    let dv = v1 - v0;
+    if dv.abs() < 1e-15 {
+        return Err(Error::InvalidAnalysis(
+            "probe produced no voltage change; node may be voltage-driven".into(),
+        ));
+    }
+    Ok(i_probe / dv)
+}
+
+/// Measured element current in a DC solution (voltage sources only).
+///
+/// Convenience wrapper used by characterization: the drain current of a
+/// device under test is read as the branch current of the source that
+/// holds its drain.
+pub fn vsource_current(circuit: &Circuit, sol: &DcSolution, name: &str) -> Result<f64> {
+    let _ = circuit;
+    sol.vsource_current(name)
+        .ok_or_else(|| Error::InvalidCircuit(format!("no voltage source named {name}")))
+}
+
+/// Element enum re-export check helper (internal).
+#[allow(dead_code)]
+fn _assert_element_shape(e: &Element) -> &str {
+    e.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{MosPolarity, MosfetModel, SourceWaveform};
+    use crate::netlist::Circuit;
+
+    fn nmos() -> MosfetModel {
+        MosfetModel {
+            polarity: MosPolarity::Nmos,
+            vt0: 0.32,
+            kp: 2.5e-4,
+            lambda: 0.15,
+            gamma: 0.4,
+            phi: 0.7,
+            cox: 0.012,
+            cgso: 3e-10,
+            cgdo: 3e-10,
+            cj: 8e-10,
+        }
+    }
+
+    fn pmos() -> MosfetModel {
+        MosfetModel {
+            polarity: MosPolarity::Pmos,
+            vt0: -0.34,
+            kp: 1.0e-4,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::gnd(), SourceWaveform::Dc(3.0));
+        ckt.add_resistor("R1", a, b, 2000.0).unwrap();
+        ckt.add_resistor("R2", b, Circuit::gnd(), 1000.0).unwrap();
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!((sol.voltage(b) - 1.0).abs() < 1e-6);
+        assert!((sol.vsource_current("V1").unwrap() + 1e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverter_transfer_points() {
+        // CMOS inverter: input low -> output at vdd; input high -> output 0.
+        let vdd = 1.2;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        let vddn = ckt.node("vdd");
+        ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(vdd));
+        ckt.add_vsource("Vin", vin, Circuit::gnd(), SourceWaveform::Dc(0.0));
+        ckt.add_mosfet("Mn", vout, vin, Circuit::gnd(), Circuit::gnd(), nmos(), 0.42e-6, 0.13e-6)
+            .unwrap();
+        ckt.add_mosfet("Mp", vout, vin, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
+            .unwrap();
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!(
+            (sol.voltage(vout) - vdd).abs() < 0.02,
+            "out={} expected ~{}",
+            sol.voltage(vout),
+            vdd
+        );
+        ckt.set_source_wave("Vin", SourceWaveform::Dc(vdd)).unwrap();
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!(sol.voltage(vout).abs() < 0.02, "out={}", sol.voltage(vout));
+    }
+
+    #[test]
+    fn inverter_dc_sweep_monotone() {
+        let vdd = 1.2;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        let vddn = ckt.node("vdd");
+        ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(vdd));
+        ckt.add_vsource("Vin", vin, Circuit::gnd(), SourceWaveform::Dc(0.0));
+        ckt.add_mosfet("Mn", vout, vin, Circuit::gnd(), Circuit::gnd(), nmos(), 0.42e-6, 0.13e-6)
+            .unwrap();
+        ckt.add_mosfet("Mp", vout, vin, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
+            .unwrap();
+        let values: Vec<f64> = (0..=24).map(|i| vdd * i as f64 / 24.0).collect();
+        let sols = dc_sweep(&mut ckt, "Vin", &values, &NewtonOptions::default()).unwrap();
+        let outs: Vec<f64> = sols.iter().map(|s| s.voltage(vout)).collect();
+        // Monotone non-increasing transfer curve.
+        for w in outs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC not monotone: {outs:?}");
+        }
+        assert!(outs[0] > vdd - 0.05);
+        assert!(outs[24] < 0.05);
+    }
+
+    #[test]
+    fn nand2_output_low_when_both_high() {
+        let vdd = 1.2;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let out = ckt.node("out");
+        let mid = ckt.node("mid");
+        let vddn = ckt.node("vdd");
+        ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(vdd));
+        ckt.add_vsource("Va", a, Circuit::gnd(), SourceWaveform::Dc(vdd));
+        ckt.add_vsource("Vb", b, Circuit::gnd(), SourceWaveform::Dc(vdd));
+        // NMOS stack.
+        ckt.add_mosfet("Mn1", out, a, mid, Circuit::gnd(), nmos(), 0.6e-6, 0.13e-6)
+            .unwrap();
+        ckt.add_mosfet("Mn2", mid, b, Circuit::gnd(), Circuit::gnd(), nmos(), 0.6e-6, 0.13e-6)
+            .unwrap();
+        // Parallel PMOS.
+        ckt.add_mosfet("Mp1", out, a, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
+            .unwrap();
+        ckt.add_mosfet("Mp2", out, b, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
+            .unwrap();
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!(sol.voltage(out) < 0.03, "out={}", sol.voltage(out));
+        // One input low -> output high.
+        ckt.set_source_wave("Va", SourceWaveform::Dc(0.0)).unwrap();
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!(sol.voltage(out) > vdd - 0.03, "out={}", sol.voltage(out));
+    }
+
+    #[test]
+    fn holding_conductance_of_grounded_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R", a, Circuit::gnd(), 2500.0).unwrap();
+        // Keep the matrix well-posed with a source somewhere.
+        let b = ckt.node("b");
+        ckt.add_vsource("V", b, Circuit::gnd(), SourceWaveform::Dc(1.0));
+        ckt.add_resistor("Rb", b, a, 1e9).unwrap();
+        let g = dc_input_conductance(&ckt, a, &NewtonOptions::default()).unwrap();
+        assert!((1.0 / g - 2500.0).abs() / 2500.0 < 1e-3, "g={g}");
+    }
+
+    #[test]
+    fn table_vccs_dc_solution() {
+        use crate::devices::table2d::{linspace, Table2d};
+        // VCCS emulating a 1 kS resistor to ground: i = 1e-3 * vout,
+        // independent of vin.
+        let t = Table2d::from_fn(linspace(-1.0, 1.0, 3), linspace(-2.0, 2.0, 5), |_x, y| {
+            1e-3 * y
+        })
+        .unwrap();
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("Vin", inp, Circuit::gnd(), SourceWaveform::Dc(0.5));
+        // 1 uA pushed into out; should settle at 1 mV.
+        ckt.add_isource("I1", Circuit::gnd(), out, SourceWaveform::Dc(1e-6));
+        ckt.add_table_vccs("Gnl", out, Circuit::gnd(), inp, t);
+        let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
+        assert!((sol.voltage(out) - 1e-3).abs() < 1e-7, "v={}", sol.voltage(out));
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V", a, Circuit::gnd(), SourceWaveform::Dc(0.0));
+        ckt.add_resistor("R", a, Circuit::gnd(), 1.0).unwrap();
+        assert!(dc_sweep(&mut ckt, "V", &[], &NewtonOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! Device models: independent sources, MOSFETs, and table-driven VCCS.
+
+pub mod mosfet;
+pub mod sources;
+pub mod table2d;
+
+pub use mosfet::{MosPolarity, MosfetEval, MosfetModel, TerminalEval};
+pub use sources::SourceWaveform;
+pub use table2d::{linspace, Table2d, TableEval};

@@ -1,0 +1,111 @@
+//! Error types for the simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by circuit construction, analysis, or deck parsing.
+///
+/// All analyses in this crate return [`Result`]; the variants carry enough
+/// context (node/element names, iteration counts, time points) to diagnose a
+/// failing netlist without re-running under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The MNA matrix became numerically singular during LU factorization.
+    SingularMatrix {
+        /// Row/column index (in MNA unknown ordering) where elimination failed.
+        pivot: usize,
+    },
+    /// Newton-Raphson failed to converge.
+    NonConvergence {
+        /// Analysis that failed (e.g. `"dc"`, `"tran"`).
+        analysis: &'static str,
+        /// Iteration count reached.
+        iterations: usize,
+        /// Simulated time at failure (seconds); 0 for DC.
+        time: f64,
+        /// Worst residual magnitude at the last iteration.
+        residual: f64,
+    },
+    /// The circuit is structurally invalid (e.g. a device references an
+    /// unknown node, a voltage-source loop, no elements).
+    InvalidCircuit(String),
+    /// A SPICE deck failed to parse.
+    Parse {
+        /// 1-based line number in the deck.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An analysis was requested with invalid parameters
+    /// (e.g. non-positive time step, empty sweep).
+    InvalidAnalysis(String),
+    /// A lookup table was queried or built with invalid axes/data.
+    InvalidTable(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot}")
+            }
+            Error::NonConvergence {
+                analysis,
+                iterations,
+                time,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations \
+                 (t = {time:.3e} s, residual = {residual:.3e})"
+            ),
+            Error::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::InvalidAnalysis(msg) => write!(f, "invalid analysis request: {msg}"),
+            Error::InvalidTable(msg) => write!(f, "invalid table: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_singular() {
+        let e = Error::SingularMatrix { pivot: 3 };
+        assert_eq!(e.to_string(), "singular MNA matrix at pivot 3");
+    }
+
+    #[test]
+    fn display_nonconvergence_mentions_analysis() {
+        let e = Error::NonConvergence {
+            analysis: "tran",
+            iterations: 60,
+            time: 1e-9,
+            residual: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tran"));
+        assert!(s.contains("60"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_parse_has_line() {
+        let e = Error::Parse {
+            line: 12,
+            message: "unknown element".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

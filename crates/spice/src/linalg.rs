@@ -1,0 +1,436 @@
+//! Dense linear algebra for MNA systems.
+//!
+//! Circuit matrices in this workspace are small (a noise cluster with a
+//! finely segmented pair of 500 µm wires is a few hundred unknowns), so a
+//! cache-friendly dense LU with partial pivoting beats a sparse code up to
+//! well past the sizes we ever build. The factorization is exposed
+//! separately from the solve ([`LuFactors`]) because transient analysis of a
+//! *linear* circuit factors once per time-step size and back-substitutes
+//! thousands of times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create an `n_rows × n_cols` zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Create an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a nested array literal (rows of equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            n_rows,
+            n_cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Reset all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Add `v` to entry `(i, j)` — the fundamental MNA "stamp" operation.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.data[i * self.n_cols + j] += v;
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut y = vec![0.0; self.n_rows];
+        for i in 0..self.n_rows {
+            let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_mat(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n_cols, b.n_rows);
+        let mut c = DenseMatrix::zeros(self.n_rows, b.n_cols);
+        for i in 0..self.n_rows {
+            for k in 0..self.n_cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.n_cols {
+                    c[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    /// Scaled accumulate: `self += k·other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn axpy(&mut self, k: f64, other: &DenseMatrix) {
+        assert_eq!(self.n_rows, other.n_rows);
+        assert_eq!(self.n_cols, other.n_cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// LU-factorize (partial pivoting) consuming a copy of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SingularMatrix`] if a pivot column is numerically zero.
+    pub fn lu(&self) -> Result<LuFactors> {
+        LuFactors::new(self.clone())
+    }
+
+    /// Solve `A·x = b` directly (factor + back-substitute).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SingularMatrix`] if the matrix is singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| {
+                self.data[i * self.n_cols..(i + 1) * self.n_cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// LU factorization with partial pivoting, reusable for many right-hand
+/// sides.
+///
+/// # Examples
+///
+/// ```
+/// use sna_spice::linalg::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = a.lu().unwrap();
+/// let x = lu.solve(&[3.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    fn new(mut a: DenseMatrix) -> Result<Self> {
+        assert_eq!(a.n_rows, a.n_cols, "LU requires a square matrix");
+        let n = a.n_rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut p = k;
+            let mut best = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(Error::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let akj = a[(k, j)];
+                        a[(i, j)] -= m * akj;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu: a, perm })
+    }
+
+    /// Dimension of the factored system.
+    pub fn n(&self) -> usize {
+        self.lu.n_rows
+    }
+
+    /// Solve `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the system dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+/// Solve the small eigen-style quadratic used in two-pole fits:
+/// roots of `x^2 + b x + c`, returned as (real parts only when real).
+///
+/// Returns `None` for complex roots.
+pub fn real_quadratic_roots(b: f64, c: f64) -> Option<(f64, f64)> {
+    let disc = b * b - 4.0 * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    // Numerically stable form.
+    let q = -0.5 * (b + b.signum() * sq);
+    if q == 0.0 {
+        return Some((0.0, 0.0));
+    }
+    Some((q, c / q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = DenseMatrix::identity(4);
+        let x = a.solve(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_3x3() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ]);
+        let xs = [1.5, -0.25, 3.0];
+        let b = a.mul_vec(&xs);
+        let x = a.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(xs.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(Error::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factor_reuse_many_rhs() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        for k in 0..10 {
+            let b = [k as f64, 1.0 - k as f64];
+            let x = lu.solve(&b);
+            let back = a.mul_vec(&x);
+            assert!((back[0] - b[0]).abs() < 1e-12);
+            assert!((back[1] - b[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_mat_against_identity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.mul_mat(&i), a);
+        assert_eq!(i.mul_mat(&a), a);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::identity(2);
+        a.axpy(2.5, &b);
+        assert_eq!(a[(0, 0)], 2.5);
+        assert_eq!(a[(1, 1)], 2.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn norm_inf() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        assert_eq!(a.norm_inf(), 3.5);
+    }
+
+    #[test]
+    fn quadratic_roots_real() {
+        // x^2 - 3x + 2 -> roots 1, 2
+        let (r1, r2) = real_quadratic_roots(-3.0, 2.0).unwrap();
+        let mut rs = [r1, r2];
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((rs[0] - 1.0).abs() < 1e-12);
+        assert!((rs[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_roots_complex_rejected() {
+        assert!(real_quadratic_roots(0.0, 1.0).is_none());
+    }
+
+    proptest! {
+        /// Random diagonally dominant systems solve to machine-level residual.
+        #[test]
+        fn prop_solve_residual(seed_rows in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..1.0, 6), 6),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 6))
+        {
+            let n = 6;
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                let mut rowsum = 0.0;
+                for j in 0..n {
+                    a[(i, j)] = seed_rows[i][j];
+                    rowsum += seed_rows[i][j].abs();
+                }
+                // Diagonal dominance guarantees non-singularity.
+                a[(i, i)] += rowsum + 1.0;
+            }
+            let x = a.solve(&rhs).unwrap();
+            let back = a.mul_vec(&x);
+            for (got, want) in back.iter().zip(rhs.iter()) {
+                prop_assert!((got - want).abs() < 1e-8);
+            }
+        }
+
+        /// LU(A) applied to A's own product with a vector recovers the vector.
+        #[test]
+        fn prop_roundtrip(xs in proptest::collection::vec(-5.0f64..5.0, 4)) {
+            let a = DenseMatrix::from_rows(&[
+                &[5.0, 1.0, 0.0, 2.0],
+                &[1.0, 4.0, 1.0, 0.0],
+                &[0.0, 1.0, 6.0, 1.0],
+                &[2.0, 0.0, 1.0, 7.0],
+            ]);
+            let b = a.mul_vec(&xs);
+            let x = a.solve(&b).unwrap();
+            for (got, want) in x.iter().zip(xs.iter()) {
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+}

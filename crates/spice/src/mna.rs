@@ -1,0 +1,404 @@
+//! Modified Nodal Analysis assembly.
+//!
+//! Unknown ordering: node voltages for nodes `1..node_count` (ground
+//! excluded) followed by one branch current per independent voltage source,
+//! in element order. The linear part is split into a conductance matrix `G`
+//! (resistors, linear VCCS, voltage-source incidence rows) and a capacitance
+//! matrix `C`, so transient integration can form `G + α·C` per step size.
+//! Non-linear devices (MOSFETs, table VCCS) contribute residual currents and
+//! Jacobian entries per Newton iteration via [`MnaSystem::stamp_nonlinear`].
+
+use crate::error::{Error, Result};
+use crate::linalg::DenseMatrix;
+use crate::netlist::{Circuit, Element, ElementId, NodeId};
+
+/// Minimum conductance tied from every node to ground; keeps otherwise
+/// floating nodes solvable, mirroring SPICE's GMIN.
+pub const GMIN: f64 = 1e-12;
+
+/// Assembled MNA system for one circuit.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    n_nodes: usize,
+    dim: usize,
+    g: DenseMatrix,
+    c: DenseMatrix,
+    /// Element ids of voltage sources, branch order.
+    vsources: Vec<ElementId>,
+    /// Element ids of current sources.
+    isources: Vec<ElementId>,
+    /// Element ids of nonlinear devices.
+    nonlinear: Vec<ElementId>,
+}
+
+impl MnaSystem {
+    /// Assemble the linear part of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures.
+    pub fn new(circuit: &Circuit) -> Result<Self> {
+        circuit.validate()?;
+        let n_nodes = circuit.node_count() - 1;
+        let vsources: Vec<ElementId> = circuit
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::VSource { .. }))
+            .map(|(i, _)| ElementId(i))
+            .collect();
+        let isources: Vec<ElementId> = circuit
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::ISource { .. }))
+            .map(|(i, _)| ElementId(i))
+            .collect();
+        let nonlinear: Vec<ElementId> = circuit
+            .elements()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_nonlinear())
+            .map(|(i, _)| ElementId(i))
+            .collect();
+        let dim = n_nodes + vsources.len();
+        if dim == 0 {
+            return Err(Error::InvalidCircuit(
+                "circuit has no unknowns (only ground)".into(),
+            ));
+        }
+        let mut g = DenseMatrix::zeros(dim, dim);
+        let mut c = DenseMatrix::zeros(dim, dim);
+        // GMIN anchors every node.
+        for i in 0..n_nodes {
+            g.add(i, i, GMIN);
+        }
+        // Helper: unknown index of a node, None for ground.
+        let ui = |n: NodeId| -> Option<usize> {
+            if n.is_ground() {
+                None
+            } else {
+                Some(n.index() - 1)
+            }
+        };
+        // Stamp two-terminal admittance y between nodes a, b into m.
+        let stamp_pair = |m: &mut DenseMatrix, a: NodeId, b: NodeId, y: f64| {
+            if let Some(i) = ui(a) {
+                m.add(i, i, y);
+                if let Some(j) = ui(b) {
+                    m.add(i, j, -y);
+                    m.add(j, i, -y);
+                    m.add(j, j, y);
+                }
+            } else if let Some(j) = ui(b) {
+                m.add(j, j, y);
+            }
+        };
+        let mut branch = 0usize;
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    stamp_pair(&mut g, *a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    stamp_pair(&mut c, *a, *b, *farads);
+                }
+                Element::VSource { pos, neg, .. } => {
+                    let bi = n_nodes + branch;
+                    branch += 1;
+                    if let Some(i) = ui(*pos) {
+                        g.add(i, bi, 1.0);
+                        g.add(bi, i, 1.0);
+                    }
+                    if let Some(j) = ui(*neg) {
+                        g.add(j, bi, -1.0);
+                        g.add(bi, j, -1.0);
+                    }
+                }
+                Element::ISource { .. } => {}
+                Element::LinearVccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                    ..
+                } => {
+                    // i(out_p -> out_n) = gm * (v(ctrl_p) - v(ctrl_n))
+                    for (out, sign_out) in [(*out_p, 1.0), (*out_n, -1.0)] {
+                        if let Some(i) = ui(out) {
+                            if let Some(j) = ui(*ctrl_p) {
+                                g.add(i, j, sign_out * gm);
+                            }
+                            if let Some(j) = ui(*ctrl_n) {
+                                g.add(i, j, -sign_out * gm);
+                            }
+                        }
+                    }
+                }
+                Element::TableVccs { .. } | Element::Mosfet { .. } => {}
+            }
+        }
+        Ok(Self {
+            n_nodes,
+            dim,
+            g,
+            c,
+            vsources,
+            isources,
+            nonlinear,
+        })
+    }
+
+    /// Number of non-ground nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Total unknown count (nodes + voltage-source branches).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Linear conductance matrix (with voltage-source incidence rows).
+    pub fn g_matrix(&self) -> &DenseMatrix {
+        &self.g
+    }
+
+    /// Capacitance matrix.
+    pub fn c_matrix(&self) -> &DenseMatrix {
+        &self.c
+    }
+
+    /// Voltage-source element ids in branch order.
+    pub fn vsources(&self) -> &[ElementId] {
+        &self.vsources
+    }
+
+    /// Whether Newton iteration is required.
+    pub fn has_nonlinear(&self) -> bool {
+        !self.nonlinear.is_empty()
+    }
+
+    /// Unknown index of a node's voltage, or `None` for ground.
+    pub fn node_unknown(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    }
+
+    /// Unknown index of the branch current of the `k`-th voltage source.
+    pub fn branch_unknown(&self, k: usize) -> usize {
+        self.n_nodes + k
+    }
+
+    /// Voltage of `node` in solution vector `x` (0 for ground).
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_unknown(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Right-hand side vector at time `t`, with all independent sources
+    /// scaled by `scale` (used by source stepping; normally `1.0`).
+    pub fn rhs(&self, circuit: &Circuit, t: f64, scale: f64) -> Vec<f64> {
+        let mut b = vec![0.0; self.dim];
+        for (k, id) in self.vsources.iter().enumerate() {
+            if let Element::VSource { wave, .. } = circuit.element(*id) {
+                b[self.n_nodes + k] = scale * wave.eval(t);
+            }
+        }
+        for id in &self.isources {
+            if let Element::ISource { pos, neg, wave, .. } = circuit.element(*id) {
+                let i = scale * wave.eval(t);
+                // Current leaves `pos` (so it subtracts from the KCL
+                // injection at pos) and enters `neg`.
+                if let Some(p) = self.node_unknown(*pos) {
+                    b[p] -= i;
+                }
+                if let Some(n) = self.node_unknown(*neg) {
+                    b[n] += i;
+                }
+            }
+        }
+        b
+    }
+
+    /// Add non-linear device currents to `residual` (KCL convention:
+    /// current *leaving* a node through a device adds positively, matching
+    /// `G·x` on the linear side) and, when `jac` is given, their
+    /// conductances into the Jacobian.
+    pub fn stamp_nonlinear(
+        &self,
+        circuit: &Circuit,
+        x: &[f64],
+        residual: &mut [f64],
+        mut jac: Option<&mut DenseMatrix>,
+    ) {
+        for id in &self.nonlinear {
+            match circuit.element(*id) {
+                Element::Mosfet {
+                    d, g, s, b, model, w, l, ..
+                } => {
+                    let vd = self.voltage(x, *d);
+                    let vg = self.voltage(x, *g);
+                    let vs = self.voltage(x, *s);
+                    let vb = self.voltage(x, *b);
+                    let e = model.eval_terminal(vd, vg, vs, vb, *w, *l);
+                    // Current e.id flows into drain terminal, out of source.
+                    if let Some(i) = self.node_unknown(*d) {
+                        residual[i] += e.id;
+                    }
+                    if let Some(i) = self.node_unknown(*s) {
+                        residual[i] -= e.id;
+                    }
+                    if let Some(j) = jac.as_deref_mut() {
+                        let terms = [(*d, e.gd), (*g, e.gg), (*s, e.gs), (*b, e.gb)];
+                        if let Some(i) = self.node_unknown(*d) {
+                            for (n, gv) in terms {
+                                if let Some(jn) = self.node_unknown(n) {
+                                    j.add(i, jn, gv);
+                                }
+                            }
+                        }
+                        if let Some(i) = self.node_unknown(*s) {
+                            for (n, gv) in terms {
+                                if let Some(jn) = self.node_unknown(n) {
+                                    j.add(i, jn, -gv);
+                                }
+                            }
+                        }
+                    }
+                }
+                Element::TableVccs {
+                    out_p,
+                    out_n,
+                    ctrl,
+                    table,
+                    ..
+                } => {
+                    let vin = self.voltage(x, *ctrl);
+                    let vout = self.voltage(x, *out_p) - self.voltage(x, *out_n);
+                    let e = table.eval(vin, vout);
+                    if let Some(i) = self.node_unknown(*out_p) {
+                        residual[i] += e.z;
+                    }
+                    if let Some(i) = self.node_unknown(*out_n) {
+                        residual[i] -= e.z;
+                    }
+                    if let Some(j) = jac.as_deref_mut() {
+                        let terms = [
+                            (*ctrl, e.dz_dx),
+                            (*out_p, e.dz_dy),
+                            (*out_n, -e.dz_dy),
+                        ];
+                        if let Some(i) = self.node_unknown(*out_p) {
+                            for (n, gv) in terms {
+                                if let Some(jn) = self.node_unknown(n) {
+                                    j.add(i, jn, gv);
+                                }
+                            }
+                        }
+                        if let Some(i) = self.node_unknown(*out_n) {
+                            for (n, gv) in terms {
+                                if let Some(jn) = self.node_unknown(n) {
+                                    j.add(i, jn, -gv);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("nonlinear list holds only mosfets and table vccs"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::SourceWaveform;
+
+    #[test]
+    fn divider_matrices() {
+        // v1 --R1-- n1 --R2-- gnd, V source 2V.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.add_vsource("V1", n1, Circuit::gnd(), SourceWaveform::Dc(2.0));
+        ckt.add_resistor("R1", n1, n2, 1000.0).unwrap();
+        ckt.add_resistor("R2", n2, Circuit::gnd(), 1000.0).unwrap();
+        let mna = MnaSystem::new(&ckt).unwrap();
+        assert_eq!(mna.n_nodes(), 2);
+        assert_eq!(mna.dim(), 3);
+        let g = mna.g_matrix();
+        // Node n1 row: 1/R1 (+GMIN) and -1/R1 and +1 branch col.
+        assert!((g[(0, 0)] - 1e-3).abs() < 1e-9);
+        assert!((g[(0, 1)] + 1e-3).abs() < 1e-15);
+        assert_eq!(g[(0, 2)], 1.0);
+        // Solve G x = b.
+        let b = mna.rhs(&ckt, 0.0, 1.0);
+        assert_eq!(b[2], 2.0);
+        let x = g.solve(&b).unwrap();
+        assert!((mna.voltage(&x, n1) - 2.0).abs() < 1e-6);
+        assert!((mna.voltage(&x, n2) - 1.0).abs() < 1e-6);
+        // Branch current: 2V across 2k -> 1mA, flowing out of + through R
+        // back into -; branch current (pos->through source->neg) is -1mA.
+        assert!((x[2] + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isource_rhs_sign() {
+        // 1A pulled from node a through the source into ground: node a
+        // should settle at -R volts with a grounding resistor.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource("I1", a, Circuit::gnd(), SourceWaveform::Dc(1.0));
+        ckt.add_resistor("R1", a, Circuit::gnd(), 10.0).unwrap();
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let b = mna.rhs(&ckt, 0.0, 1.0);
+        let x = mna.g_matrix().solve(&b).unwrap();
+        assert!((mna.voltage(&x, a) + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_vccs_stamp() {
+        // VCCS driving current gm*v(c) out of node o into ground;
+        // with R at o, v(o) = -gm*R*v(c).
+        let mut ckt = Circuit::new();
+        let cnode = ckt.node("c");
+        let o = ckt.node("o");
+        ckt.add_vsource("Vc", cnode, Circuit::gnd(), SourceWaveform::Dc(1.0));
+        ckt.add_linear_vccs("G1", o, Circuit::gnd(), cnode, Circuit::gnd(), 1e-3);
+        ckt.add_resistor("Ro", o, Circuit::gnd(), 1000.0).unwrap();
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let b = mna.rhs(&ckt, 0.0, 1.0);
+        let x = mna.g_matrix().solve(&b).unwrap();
+        assert!((mna.voltage(&x, o) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitors_go_to_c_matrix() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V", a, Circuit::gnd(), SourceWaveform::Dc(1.0));
+        ckt.add_capacitor("C1", a, Circuit::gnd(), 1e-12).unwrap();
+        let mna = MnaSystem::new(&ckt).unwrap();
+        assert!((mna.c_matrix()[(0, 0)] - 1e-12).abs() < 1e-24);
+        assert_eq!(mna.g_matrix()[(0, 0)], GMIN);
+    }
+
+    #[test]
+    fn source_scaling() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V", a, Circuit::gnd(), SourceWaveform::Dc(2.0));
+        ckt.add_resistor("R", a, Circuit::gnd(), 1.0).unwrap();
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let b = mna.rhs(&ckt, 0.0, 0.5);
+        assert_eq!(b[mna.branch_unknown(0)], 1.0);
+    }
+}

@@ -1,0 +1,768 @@
+//! SPICE-deck subset parser and writer.
+//!
+//! The EDA ecosystem interchange format for the circuits this crate
+//! simulates is the classic SPICE netlist. The subset covers everything the
+//! noise flow produces or consumes: `R`, `C`, `V`, `I`, `G` (linear VCCS)
+//! and `M` elements, `.model` cards (level-1), `.tran`/`.dc` analysis lines,
+//! comments, and `+` continuations. [`write_deck`] emits a deck that this
+//! parser round-trips, so golden cluster netlists can be dumped, diffed,
+//! and re-read.
+
+use std::collections::HashMap;
+
+use crate::devices::{MosPolarity, MosfetModel, SourceWaveform};
+use crate::error::{Error, Result};
+use crate::netlist::{Circuit, Element};
+use crate::tran::TranParams;
+use crate::units::parse_spice_number;
+
+/// A parsed deck: the circuit plus any analysis statements found.
+#[derive(Debug, Clone)]
+pub struct ParsedDeck {
+    /// Title line (first line of the deck, SPICE convention).
+    pub title: String,
+    /// The netlist.
+    pub circuit: Circuit,
+    /// `.tran` statement, if present.
+    pub tran: Option<TranParams>,
+    /// `.dc` sweep statements: `(source, start, stop, step)`.
+    pub dc_sweeps: Vec<(String, f64, f64, f64)>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> Error {
+    Error::Parse {
+        line,
+        message: msg.into(),
+    }
+}
+
+fn num(tok: &str, line: usize) -> Result<f64> {
+    parse_spice_number(tok).ok_or_else(|| err(line, format!("expected a number, got '{tok}'")))
+}
+
+/// Split logical lines: strip comments, join `+` continuations.
+/// Returns `(line_number_of_first_physical_line, joined_text)`.
+fn logical_lines(deck: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in deck.lines().enumerate() {
+        let lineno = i + 1;
+        let mut text = raw.trim().to_string();
+        if let Some(p) = text.find(';') {
+            text.truncate(p);
+        }
+        if let Some(p) = text.find('$') {
+            text.truncate(p);
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if text.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = text.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(cont.trim());
+                continue;
+            }
+        }
+        out.push((lineno, text.to_string()));
+    }
+    out
+}
+
+/// Tokenize respecting `(`, `)`, `=` as separators that also split tokens.
+fn tokenize(s: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            ' ' | '\t' | ',' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            '(' | ')' | '=' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                toks.push(ch.to_string());
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+/// Parse a source specification from tokens following the two node names.
+fn parse_source(toks: &[String], line: usize) -> Result<SourceWaveform> {
+    if toks.is_empty() {
+        return Err(err(line, "missing source value"));
+    }
+    let kw = toks[0].to_ascii_uppercase();
+    match kw.as_str() {
+        "DC" => {
+            let v = toks
+                .get(1)
+                .ok_or_else(|| err(line, "DC needs a value"))?;
+            Ok(SourceWaveform::Dc(num(v, line)?))
+        }
+        "PWL" => {
+            // PWL ( t1 v1 t2 v2 ... )
+            let nums: Vec<f64> = toks[1..]
+                .iter()
+                .filter(|t| *t != "(" && *t != ")")
+                .map(|t| num(t, line))
+                .collect::<Result<_>>()?;
+            if nums.len() < 4 || nums.len() % 2 != 0 {
+                return Err(err(line, "PWL needs an even number (>= 4) of values"));
+            }
+            let pts: Vec<(f64, f64)> = nums.chunks(2).map(|c| (c[0], c[1])).collect();
+            for w in pts.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    return Err(err(line, "PWL times must be strictly increasing"));
+                }
+            }
+            Ok(SourceWaveform::Pwl(pts))
+        }
+        "PULSE" => {
+            let nums: Vec<f64> = toks[1..]
+                .iter()
+                .filter(|t| *t != "(" && *t != ")")
+                .map(|t| num(t, line))
+                .collect::<Result<_>>()?;
+            if nums.len() < 6 {
+                return Err(err(line, "PULSE needs v0 v1 td tr tf pw"));
+            }
+            Ok(SourceWaveform::Pulse {
+                v0: nums[0],
+                v1: nums[1],
+                t_delay: nums[2],
+                t_rise: nums[3],
+                t_fall: nums[4],
+                t_width: nums[5],
+            })
+        }
+        _ => Ok(SourceWaveform::Dc(num(&toks[0], line)?)),
+    }
+}
+
+/// Parse a SPICE deck into a circuit plus analyses.
+///
+/// # Errors
+///
+/// [`Error::Parse`] with the offending line number on any syntax problem;
+/// element-level validation errors (negative resistance etc.) are also
+/// reported with their line.
+///
+/// # Examples
+///
+/// ```
+/// use sna_spice::parser::parse_deck;
+///
+/// let deck = "\
+/// rc lowpass
+/// V1 in 0 DC 1.0
+/// R1 in out 1k
+/// C1 out 0 1p
+/// .tran 1p 5n
+/// .end
+/// ";
+/// let parsed = parse_deck(deck).unwrap();
+/// assert_eq!(parsed.circuit.element_count(), 3);
+/// assert!(parsed.tran.is_some());
+/// ```
+pub fn parse_deck(deck: &str) -> Result<ParsedDeck> {
+    let lines = logical_lines(deck);
+    if lines.is_empty() {
+        return Err(err(0, "empty deck"));
+    }
+    // SPICE convention: the first line is the title. The single concession
+    // to title-less decks: a deck whose first line is a dot-card keeps it.
+    let (start, title) = match lines.first() {
+        Some((_, first)) if first.starts_with('.') => (0, String::new()),
+        Some((_, first)) => (1, first.clone()),
+        None => (0, String::new()),
+    };
+    let mut circuit = Circuit::new();
+    let mut models: HashMap<String, MosfetModel> = HashMap::new();
+    let mut tran = None;
+    let mut dc_sweeps = Vec::new();
+    // Two passes: collect .model cards first so M lines can reference
+    // models defined later in the deck.
+    for (lineno, text) in lines.iter().skip(start) {
+        let toks = tokenize(text);
+        if toks.is_empty() {
+            continue;
+        }
+        if toks[0].to_ascii_lowercase() == ".model" {
+            let name = toks
+                .get(1)
+                .ok_or_else(|| err(*lineno, ".model needs a name"))?
+                .to_ascii_lowercase();
+            let kind = toks
+                .get(2)
+                .ok_or_else(|| err(*lineno, ".model needs NMOS or PMOS"))?
+                .to_ascii_uppercase();
+            let polarity = match kind.as_str() {
+                "NMOS" => MosPolarity::Nmos,
+                "PMOS" => MosPolarity::Pmos,
+                other => return Err(err(*lineno, format!("unsupported model type {other}"))),
+            };
+            let mut params: HashMap<String, f64> = HashMap::new();
+            let mut k = 3;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t == "(" || t == ")" {
+                    k += 1;
+                    continue;
+                }
+                if toks.get(k + 1).map(|s| s.as_str()) == Some("=") {
+                    let val = toks
+                        .get(k + 2)
+                        .ok_or_else(|| err(*lineno, format!("missing value for {t}")))?;
+                    params.insert(t.to_ascii_lowercase(), num(val, *lineno)?);
+                    k += 3;
+                } else {
+                    k += 1;
+                }
+            }
+            let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
+            let vt_default = match polarity {
+                MosPolarity::Nmos => 0.3,
+                MosPolarity::Pmos => -0.3,
+            };
+            let model = MosfetModel {
+                polarity,
+                vt0: get("vto", vt_default),
+                kp: get("kp", 2e-4),
+                lambda: get("lambda", 0.1),
+                gamma: get("gamma", 0.0),
+                phi: get("phi", 0.7),
+                cox: get("cox", 0.01),
+                cgso: get("cgso", 0.0),
+                cgdo: get("cgdo", 0.0),
+                cj: get("cj", 0.0),
+            };
+            models.insert(name, model);
+        }
+    }
+    for (lineno, text) in lines.iter().skip(start) {
+        let toks = tokenize(text);
+        if toks.is_empty() {
+            continue;
+        }
+        let head = toks[0].clone();
+        let first = head.chars().next().unwrap().to_ascii_uppercase();
+        match first {
+            '.' => {
+                let cmd = head.to_ascii_lowercase();
+                match cmd.as_str() {
+                    ".model" => {} // handled in first pass
+                    ".end" | ".ends" => break,
+                    ".tran" => {
+                        let step = num(
+                            toks.get(1).ok_or_else(|| err(*lineno, ".tran needs step"))?,
+                            *lineno,
+                        )?;
+                        let stop = num(
+                            toks.get(2).ok_or_else(|| err(*lineno, ".tran needs stop"))?,
+                            *lineno,
+                        )?;
+                        tran = Some(TranParams::new(stop, step));
+                    }
+                    ".dc" => {
+                        let src = toks
+                            .get(1)
+                            .ok_or_else(|| err(*lineno, ".dc needs a source"))?
+                            .clone();
+                        let a = num(toks.get(2).ok_or_else(|| err(*lineno, ".dc start"))?, *lineno)?;
+                        let b = num(toks.get(3).ok_or_else(|| err(*lineno, ".dc stop"))?, *lineno)?;
+                        let s = num(toks.get(4).ok_or_else(|| err(*lineno, ".dc step"))?, *lineno)?;
+                        dc_sweeps.push((src, a, b, s));
+                    }
+                    _ => {} // ignore unknown dot-cards (.probe, .option, ...)
+                }
+            }
+            'R' => {
+                if toks.len() < 4 {
+                    return Err(err(*lineno, "R needs: name n1 n2 value"));
+                }
+                let a = circuit.node(&toks[1]);
+                let b = circuit.node(&toks[2]);
+                let v = num(&toks[3], *lineno)?;
+                circuit
+                    .add_resistor(&head, a, b, v)
+                    .map_err(|e| err(*lineno, e.to_string()))?;
+            }
+            'C' => {
+                if toks.len() < 4 {
+                    return Err(err(*lineno, "C needs: name n1 n2 value"));
+                }
+                let a = circuit.node(&toks[1]);
+                let b = circuit.node(&toks[2]);
+                let v = num(&toks[3], *lineno)?;
+                circuit
+                    .add_capacitor(&head, a, b, v)
+                    .map_err(|e| err(*lineno, e.to_string()))?;
+            }
+            'V' | 'I' => {
+                if toks.len() < 4 {
+                    return Err(err(*lineno, "source needs: name n+ n- value"));
+                }
+                let p = circuit.node(&toks[1]);
+                let n = circuit.node(&toks[2]);
+                let wave = parse_source(&toks[3..], *lineno)?;
+                if first == 'V' {
+                    circuit.add_vsource(&head, p, n, wave);
+                } else {
+                    circuit.add_isource(&head, p, n, wave);
+                }
+            }
+            'G' => {
+                if toks.len() < 6 {
+                    return Err(err(*lineno, "G needs: name out+ out- ctrl+ ctrl- gm"));
+                }
+                let op = circuit.node(&toks[1]);
+                let on = circuit.node(&toks[2]);
+                let cp = circuit.node(&toks[3]);
+                let cn = circuit.node(&toks[4]);
+                let gm = num(&toks[5], *lineno)?;
+                circuit.add_linear_vccs(&head, op, on, cp, cn, gm);
+            }
+            'M' => {
+                if toks.len() < 6 {
+                    return Err(err(*lineno, "M needs: name d g s b model [W= L=]"));
+                }
+                let d = circuit.node(&toks[1]);
+                let g = circuit.node(&toks[2]);
+                let s = circuit.node(&toks[3]);
+                let b = circuit.node(&toks[4]);
+                let mname = toks[5].to_ascii_lowercase();
+                let model = *models
+                    .get(&mname)
+                    .ok_or_else(|| err(*lineno, format!("unknown model '{}'", toks[5])))?;
+                let mut w = 1e-6;
+                let mut l = 0.13e-6;
+                let mut k = 6;
+                while k < toks.len() {
+                    if toks.get(k + 1).map(|t| t.as_str()) == Some("=") {
+                        let key = toks[k].to_ascii_lowercase();
+                        let val = num(
+                            toks.get(k + 2)
+                                .ok_or_else(|| err(*lineno, format!("missing value for {key}")))?,
+                            *lineno,
+                        )?;
+                        match key.as_str() {
+                            "w" => w = val,
+                            "l" => l = val,
+                            _ => {}
+                        }
+                        k += 3;
+                    } else {
+                        k += 1;
+                    }
+                }
+                circuit
+                    .add_mosfet(&head, d, g, s, b, model, w, l)
+                    .map_err(|e| err(*lineno, e.to_string()))?;
+            }
+            other => {
+                return Err(err(*lineno, format!("unsupported element '{other}'")));
+            }
+        }
+    }
+    Ok(ParsedDeck {
+        title,
+        circuit,
+        tran,
+        dc_sweeps,
+    })
+}
+
+fn fmt_wave(w: &SourceWaveform) -> String {
+    match w {
+        SourceWaveform::Dc(v) => format!("DC {v:.12e}"),
+        SourceWaveform::Pulse {
+            v0,
+            v1,
+            t_delay,
+            t_rise,
+            t_width,
+            t_fall,
+        } => format!(
+            "PULSE({v0:.12e} {v1:.12e} {t_delay:.12e} {t_rise:.12e} {t_fall:.12e} {t_width:.12e})"
+        ),
+        SourceWaveform::Ramp {
+            v0,
+            v1,
+            t_start,
+            t_rise,
+        } => format!(
+            "PWL({:.12e} {v0:.12e} {:.12e} {v1:.12e})",
+            t_start.max(0.0),
+            t_start + t_rise
+        ),
+        SourceWaveform::TriangleGlitch {
+            v_base,
+            v_peak,
+            t_start,
+            t_rise,
+            t_fall,
+        } => format!(
+            "PWL({:.12e} {v_base:.12e} {:.12e} {v_peak:.12e} {:.12e} {v_base:.12e})",
+            t_start.max(0.0),
+            t_start + t_rise,
+            t_start + t_rise + t_fall
+        ),
+        SourceWaveform::Pwl(points) => {
+            let body: Vec<String> = points
+                .iter()
+                .map(|(t, v)| format!("{t:.12e} {v:.12e}"))
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+        SourceWaveform::Sampled(wave) => {
+            let body: Vec<String> = wave
+                .times()
+                .iter()
+                .zip(wave.values())
+                .map(|(t, v)| format!("{t:.12e} {v:.12e}"))
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+    }
+}
+
+/// Emit a SPICE deck for `circuit`.
+///
+/// MOSFET model cards are deduplicated and named `mod_n` / `mod_p` (with a
+/// numeric suffix when several distinct cards of one polarity exist). The
+/// non-standard [`Element::TableVccs`] is emitted as a comment block (its
+/// table is a characterization artifact, not a SPICE primitive); decks
+/// containing one will not round-trip that element — by design, golden
+/// reference decks are transistor-level.
+pub fn write_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    // Collect distinct models.
+    let mut model_names: Vec<(MosfetModel, String)> = Vec::new();
+    for e in circuit.elements() {
+        if let Element::Mosfet { model, .. } = e {
+            if !model_names.iter().any(|(m, _)| m == model) {
+                let base = match model.polarity {
+                    MosPolarity::Nmos => "mod_n",
+                    MosPolarity::Pmos => "mod_p",
+                };
+                let count = model_names
+                    .iter()
+                    .filter(|(m, _)| m.polarity == model.polarity)
+                    .count();
+                let name = if count == 0 {
+                    base.to_string()
+                } else {
+                    format!("{base}{count}")
+                };
+                model_names.push((*model, name));
+            }
+        }
+    }
+    for (m, name) in &model_names {
+        let kind = match m.polarity {
+            MosPolarity::Nmos => "NMOS",
+            MosPolarity::Pmos => "PMOS",
+        };
+        out.push_str(&format!(
+            ".model {name} {kind} (level=1 vto={:.12e} kp={:.12e} lambda={:.12e} gamma={:.12e} \
+             phi={:.12e} cox={:.12e} cgso={:.12e} cgdo={:.12e} cj={:.12e})\n",
+            m.vt0, m.kp, m.lambda, m.gamma, m.phi, m.cox, m.cgso, m.cgdo, m.cj
+        ));
+    }
+    let nn = |n: crate::netlist::NodeId| circuit.node_name(n).to_string();
+    // SPICE identifies element type by the first letter: prefix names that
+    // do not already start with the right one.
+    let tagged = |prefix: char, name: &str| -> String {
+        if name
+            .chars()
+            .next()
+            .is_some_and(|c| c.eq_ignore_ascii_case(&prefix))
+        {
+            name.to_string()
+        } else {
+            format!("{prefix}{name}")
+        }
+    };
+    // Capacitors auto-generated by `add_mosfet` are re-created on parse;
+    // emit only the explicit ones.
+    let mosfet_names: Vec<&str> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::Mosfet { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let is_device_cap = |name: &str| -> bool {
+        for suffix in [".cgs", ".cgd", ".cgb", ".cdb", ".csb"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if mosfet_names.iter().any(|m| *m == base) {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { name, a, b, ohms } => {
+                out.push_str(&format!(
+                    "{} {} {} {ohms:.12e}\n",
+                    tagged('R', name),
+                    nn(*a),
+                    nn(*b)
+                ));
+            }
+            Element::Capacitor { name, a, b, farads } => {
+                if is_device_cap(name) {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{} {} {} {farads:.12e}\n",
+                    tagged('C', name),
+                    nn(*a),
+                    nn(*b)
+                ));
+            }
+            Element::VSource { name, pos, neg, wave } => {
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    tagged('V', name),
+                    nn(*pos),
+                    nn(*neg),
+                    fmt_wave(wave)
+                ));
+            }
+            Element::ISource { name, pos, neg, wave } => {
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    tagged('I', name),
+                    nn(*pos),
+                    nn(*neg),
+                    fmt_wave(wave)
+                ));
+            }
+            Element::LinearVccs {
+                name,
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                gm,
+            } => {
+                out.push_str(&format!(
+                    "{} {} {} {} {} {gm:.12e}\n",
+                    tagged('G', name),
+                    nn(*out_p),
+                    nn(*out_n),
+                    nn(*ctrl_p),
+                    nn(*ctrl_n)
+                ));
+            }
+            Element::TableVccs {
+                name,
+                out_p,
+                out_n,
+                ctrl,
+                table,
+            } => {
+                out.push_str(&format!(
+                    "* table-vccs {name}: out=({},{}) ctrl={} grid={}x{} (non-standard, omitted)\n",
+                    nn(*out_p),
+                    nn(*out_n),
+                    nn(*ctrl),
+                    table.x_axis().len(),
+                    table.y_axis().len()
+                ));
+            }
+            Element::Mosfet {
+                name, d, g, s, b, model, w, l,
+            } => {
+                let mname = &model_names
+                    .iter()
+                    .find(|(m, _)| m == model)
+                    .expect("model collected above")
+                    .1;
+                out.push_str(&format!(
+                    "{} {} {} {} {} {mname} W={w:.12e} L={l:.12e}\n",
+                    tagged('M', name),
+                    nn(*d),
+                    nn(*g),
+                    nn(*s),
+                    nn(*b)
+                ));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, NewtonOptions};
+
+    #[test]
+    fn parse_rc_divider_and_solve() {
+        let deck = "\
+test divider
+V1 in 0 DC 3.0
+R1 in mid 2k
+R2 mid 0 1k
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        assert_eq!(p.title, "test divider");
+        let sol = dc_operating_point(&p.circuit, &NewtonOptions::default(), None).unwrap();
+        let mid = p.circuit.find_node("mid").unwrap();
+        assert!((sol.voltage(mid) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let deck = "\
+continuation test
+* full-line comment
+V1 a 0
++ DC 2.0 ; inline comment
+R1 a 0 1k $ another comment
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        assert_eq!(p.circuit.element_count(), 2);
+    }
+
+    #[test]
+    fn pwl_and_pulse_sources() {
+        let deck = "\
+sources
+V1 a 0 PWL(0 0 1n 1.0 2n 0)
+V2 b 0 PULSE(0 1.2 1n 50p 50p 200p)
+R1 a 0 1k
+R2 b 0 1k
+.tran 1p 5n
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        assert!(p.tran.is_some());
+        let t = p.tran.unwrap();
+        assert!((t.t_stop - 5e-9).abs() < 1e-21);
+        assert!((t.dt - 1e-12).abs() < 1e-24);
+        match p.circuit.element(p.circuit.find_element("V1").unwrap()) {
+            Element::VSource { wave, .. } => {
+                assert!((wave.eval(0.5e-9) - 0.5).abs() < 1e-9);
+            }
+            _ => panic!(),
+        }
+        match p.circuit.element(p.circuit.find_element("V2").unwrap()) {
+            Element::VSource { wave, .. } => {
+                // peak during the pulse width
+                assert!((wave.eval(1.15e-9) - 1.2).abs() < 1e-9);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn mosfet_with_model() {
+        let deck = "\
+inv
+.model nch NMOS (level=1 vto=0.32 kp=2.5e-4 lambda=0.15 gamma=0.4 phi=0.7)
+.model pch PMOS (level=1 vto=-0.34 kp=1.0e-4)
+Vdd vdd 0 DC 1.2
+Vin in 0 DC 0
+Mn out in 0 0 nch W=0.42u L=0.13u
+Mp out in vdd vdd pch W=0.64u L=0.13u
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        let sol = dc_operating_point(&p.circuit, &NewtonOptions::default(), None).unwrap();
+        let out = p.circuit.find_node("out").unwrap();
+        assert!((sol.voltage(out) - 1.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn model_defined_after_use() {
+        let deck = "\
+order
+Vd d 0 DC 1.0
+M1 d d 0 0 nch W=1u L=0.13u
+.model nch NMOS (vto=0.3 kp=2e-4)
+.end
+";
+        assert!(parse_deck(deck).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let deck = "\
+title
+R1 a 0 notanumber
+.end
+";
+        match parse_deck(deck) {
+            Err(Error::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let deck = "title\nQ1 a b c model\n.end\n";
+        assert!(parse_deck(deck).is_err());
+    }
+
+    #[test]
+    fn dc_sweep_statement() {
+        let deck = "\
+sweep
+V1 a 0 DC 0
+R1 a 0 1k
+.dc V1 0 1.2 0.1
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        assert_eq!(p.dc_sweeps.len(), 1);
+        assert_eq!(p.dc_sweeps[0].0, "V1");
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let deck = "\
+rt
+.model nch NMOS (level=1 vto=0.32 kp=2.5e-4 lambda=0.15 gamma=0.4 phi=0.7 cox=0.012 cgso=3e-10 cgdo=3e-10 cj=8e-10)
+Vdd vdd 0 DC 1.2
+Vin in 0 PULSE(0 1.2 1n 50p 50p 200p)
+Mn out in 0 0 nch W=0.42u L=0.13u
+R1 out 0 10k
+C1 out 0 5f
+.end
+";
+        let p1 = parse_deck(deck).unwrap();
+        let emitted = write_deck(&p1.circuit, "rt");
+        let p2 = parse_deck(&emitted).unwrap();
+        // Same element count (mosfet caps regenerate identically).
+        assert_eq!(p1.circuit.element_count(), p2.circuit.element_count());
+        // Same DC solution.
+        let s1 = dc_operating_point(&p1.circuit, &NewtonOptions::default(), None).unwrap();
+        let s2 = dc_operating_point(&p2.circuit, &NewtonOptions::default(), None).unwrap();
+        let o1 = p1.circuit.find_node("out").unwrap();
+        let o2 = p2.circuit.find_node("out").unwrap();
+        assert!((s1.voltage(o1) - s2.voltage(o2)).abs() < 1e-9);
+    }
+}

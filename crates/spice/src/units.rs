@@ -1,0 +1,184 @@
+//! SI unit constants and SPICE-style numeric suffix parsing.
+//!
+//! Everything in this workspace is plain SI `f64`: volts, amperes, seconds,
+//! ohms, farads, meters. These constants exist so that call sites read like
+//! the physical quantities they are (`500.0 * UM`, `1.0 * PS`) instead of
+//! bare exponents.
+
+/// One picosecond in seconds.
+pub const PS: f64 = 1e-12;
+/// One nanosecond in seconds.
+pub const NS: f64 = 1e-9;
+/// One microsecond in seconds.
+pub const US: f64 = 1e-6;
+/// One femtofarad in farads.
+pub const FF: f64 = 1e-15;
+/// One picofarad in farads.
+pub const PF: f64 = 1e-12;
+/// One millivolt in volts.
+pub const MV: f64 = 1e-3;
+/// One microampere in amperes.
+pub const UA: f64 = 1e-6;
+/// One milliampere in amperes.
+pub const MA: f64 = 1e-3;
+/// One kiloohm in ohms.
+pub const KOHM: f64 = 1e3;
+/// One micrometer in meters.
+pub const UM: f64 = 1e-6;
+/// One nanometer in meters.
+pub const NM: f64 = 1e-9;
+
+/// Parse a SPICE-style number with an optional engineering suffix.
+///
+/// Recognized suffixes (case-insensitive, longest match first):
+/// `t` (1e12), `g` (1e9), `meg` (1e6), `k` (1e3), `m` (1e-3), `u` (1e-6),
+/// `n` (1e-9), `p` (1e-12), `f` (1e-15), `mil` (25.4e-6). Trailing unit
+/// letters after the suffix are ignored, as in SPICE (`10pF`, `5kOhm`).
+///
+/// # Examples
+///
+/// ```
+/// # use sna_spice::units::parse_spice_number;
+/// assert_eq!(parse_spice_number("2.5k").unwrap(), 2500.0);
+/// assert_eq!(parse_spice_number("10p").unwrap(), 10e-12);
+/// assert_eq!(parse_spice_number("3meg").unwrap(), 3e6);
+/// assert_eq!(parse_spice_number("-1.2").unwrap(), -1.2);
+/// ```
+///
+/// # Errors
+///
+/// Returns `None` when the leading characters do not form a valid float.
+pub fn parse_spice_number(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // Split the longest leading float prefix.
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        match c {
+            '0'..='9' => {
+                seen_digit = true;
+                end += 1;
+            }
+            '+' | '-' if end == 0 => end += 1,
+            '.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                end += 1;
+            }
+            'e' | 'E' if seen_digit && !seen_exp => {
+                // Only treat as exponent when followed by digit or sign+digit.
+                let next = bytes.get(end + 1).map(|&b| b as char);
+                let next2 = bytes.get(end + 2).map(|&b| b as char);
+                let is_exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+') | Some('-') => matches!(next2, Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if is_exp {
+                    seen_exp = true;
+                    end += 2; // consume 'e' and sign-or-digit
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return None;
+    }
+    let value: f64 = s[..end].parse().ok()?;
+    let suffix = s[end..].to_ascii_lowercase();
+    let mult = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.chars().next() {
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            _ => 1.0,
+        }
+    };
+    Some(value * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_spice_number("42").unwrap(), 42.0);
+        assert_eq!(parse_spice_number("-3.5").unwrap(), -3.5);
+        assert_eq!(parse_spice_number("1e-9").unwrap(), 1e-9);
+        assert_eq!(parse_spice_number("1E+3").unwrap(), 1e3);
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(parse_spice_number("1k").unwrap(), 1e3);
+        assert_eq!(parse_spice_number("1K").unwrap(), 1e3);
+        assert_eq!(parse_spice_number("1meg").unwrap(), 1e6);
+        assert_eq!(parse_spice_number("1MEG").unwrap(), 1e6);
+        assert_eq!(parse_spice_number("1m").unwrap(), 1e-3);
+        assert_eq!(parse_spice_number("1u").unwrap(), 1e-6);
+        assert_eq!(parse_spice_number("1n").unwrap(), 1e-9);
+        assert_eq!(parse_spice_number("1p").unwrap(), 1e-12);
+        assert_eq!(parse_spice_number("1f").unwrap(), 1e-15);
+        assert_eq!(parse_spice_number("1g").unwrap(), 1e9);
+        assert_eq!(parse_spice_number("1t").unwrap(), 1e12);
+    }
+
+    #[test]
+    fn unit_tails_ignored() {
+        assert_eq!(parse_spice_number("10pF").unwrap(), 10e-12);
+        assert_eq!(parse_spice_number("5kOhm").unwrap(), 5e3);
+        assert_eq!(parse_spice_number("3.3V").unwrap(), 3.3);
+        // 'V' alone is not a multiplier suffix.
+        assert_eq!(parse_spice_number("2volts").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn exponent_vs_suffix_disambiguation() {
+        // "1e3" is an exponent; "1e" would be 1.0 with junk tail.
+        assert_eq!(parse_spice_number("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_spice_number("1e").unwrap(), 1.0);
+        // "2.5e-2k" parses float 2.5e-2 then suffix k.
+        assert_eq!(parse_spice_number("2.5e-2k").unwrap(), 25.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spice_number("").is_none());
+        assert!(parse_spice_number("abc").is_none());
+        assert!(parse_spice_number("-").is_none());
+        assert!(parse_spice_number(".k").is_none());
+    }
+
+    #[test]
+    fn mil_suffix() {
+        let v = parse_spice_number("2mil").unwrap();
+        assert!((v - 50.8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert!((1000.0 * PS - NS).abs() < 1e-24);
+        assert!((1000.0 * NS - US).abs() < 1e-21);
+        assert!((1000.0 * FF - PF).abs() < 1e-27);
+        assert!((1000.0 * NM - UM).abs() < 1e-18);
+    }
+}

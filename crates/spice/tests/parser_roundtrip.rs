@@ -1,0 +1,69 @@
+//! Property test: arbitrary linear netlists survive a write→parse round
+//! trip with identical DC solutions.
+
+use proptest::prelude::*;
+use sna_spice::dc::{dc_operating_point, NewtonOptions};
+use sna_spice::devices::SourceWaveform;
+use sna_spice::netlist::Circuit;
+use sna_spice::parser::{parse_deck, write_deck};
+
+/// Build a random ladder-ish RC circuit with a driving source:
+/// node chain n0..n_k with resistors, random caps to ground, source at n0.
+fn build_circuit(res: &[f64], caps: &[(usize, f64)], v: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("n0");
+    ckt.add_vsource("Vdrv", prev, Circuit::gnd(), SourceWaveform::Dc(v));
+    for (i, &r) in res.iter().enumerate() {
+        let next = ckt.node(&format!("n{}", i + 1));
+        ckt.add_resistor(&format!("R{i}"), prev, next, r).unwrap();
+        prev = next;
+    }
+    // Terminate to ground so every node has a DC level.
+    ckt.add_resistor("Rterm", prev, Circuit::gnd(), 1e4).unwrap();
+    for (k, &(node, c)) in caps.iter().enumerate() {
+        let n = ckt.node(&format!("n{}", node % (res.len() + 1)));
+        ckt.add_capacitor(&format!("C{k}"), n, Circuit::gnd(), c)
+            .unwrap();
+    }
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_write_parse_preserves_dc(
+        res in proptest::collection::vec(1.0f64..1e5, 1..8),
+        caps in proptest::collection::vec((0usize..8, 1e-16f64..1e-11), 0..6),
+        v in -5.0f64..5.0,
+    ) {
+        let ckt = build_circuit(&res, &caps, v);
+        let deck = write_deck(&ckt, "prop roundtrip");
+        let parsed = parse_deck(&deck).expect("emitted deck must parse");
+        prop_assert_eq!(parsed.circuit.element_count(), ckt.element_count());
+        let opts = NewtonOptions::default();
+        let s1 = dc_operating_point(&ckt, &opts, None).expect("dc original");
+        let s2 = dc_operating_point(&parsed.circuit, &opts, None).expect("dc reparsed");
+        for i in 0..=res.len() {
+            let name = format!("n{i}");
+            let a = ckt.find_node(&name).unwrap();
+            let b = parsed.circuit.find_node(&name).unwrap();
+            prop_assert!(
+                (s1.voltage(a) - s2.voltage(b)).abs() < 1e-9,
+                "node {} differs: {} vs {}", name, s1.voltage(a), s2.voltage(b)
+            );
+        }
+    }
+
+    #[test]
+    fn prop_spice_numbers_roundtrip_through_display(
+        mantissa in -1e3f64..1e3,
+        exp in -15i32..6,
+    ) {
+        let v = mantissa * 10f64.powi(exp);
+        let s = format!("{v:.9e}");
+        let parsed = sna_spice::units::parse_spice_number(&s).expect("parse own format");
+        let tol = v.abs() * 1e-8 + 1e-300;
+        prop_assert!((parsed - v).abs() <= tol, "{s} -> {parsed} != {v}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Cell characterization, inspected.
+//!
+//! Dumps everything the noise flow pre-computes for the paper's victim
+//! driver (NAND2, 0.13 µm, holding low):
+//!
+//! * the Eq. (1) load-curve surface `I_DC = f(V_in, V_out)` — watch the
+//!   restoring current *saturate* along V_out: that is the non-linearity
+//!   the whole paper is about;
+//! * the holding resistance (the single number the superposition baseline
+//!   keeps from all of this);
+//! * a Dartu–Pileggi Thevenin fit of an aggressor driver;
+//! * the propagated-noise table;
+//! * the receiver's noise rejection curve.
+//!
+//! ```sh
+//! cargo run --release --example characterize
+//! ```
+
+use sna::prelude::*;
+
+fn main() -> sna::spice::Result<()> {
+    let tech = Technology::cmos130();
+    let victim = Cell::nand2(tech.clone(), 1.0);
+    let mode = victim.holding_low_mode();
+    println!(
+        "victim: NAND2 x1 in {}, holding low (inputs at {:?} V, glitch on input {})\n",
+        tech.name, mode.input_levels, mode.noisy_input
+    );
+
+    // --- Eq. (1) load curve.
+    let opts = CharacterizeOptions {
+        grid: 9,
+        ..Default::default()
+    };
+    let lc = characterize_load_curve(&victim, &mode, &opts)?;
+    println!("I_DC(V_in, V_out) in uA (rows: V_in; cols: V_out):");
+    print!("{:>8}", "");
+    for &vout in lc.table.y_axis() {
+        print!("{vout:>9.2}");
+    }
+    println!();
+    for (ix, &vin) in lc.table.x_axis().iter().enumerate() {
+        print!("{vin:>8.2}");
+        for iy in 0..lc.table.y_axis().len() {
+            print!("{:>9.1}", lc.table.at(ix, iy) * 1e6);
+        }
+        println!();
+    }
+    println!(
+        "\nsaturation check along V_out at V_in = Vdd: I(0.3) = {:.1} uA, \
+         I(0.6) = {:.1} uA, I(0.9) = {:.1} uA  (linear would double, then triple)",
+        lc.current(tech.vdd, 0.3) * 1e6,
+        lc.current(tech.vdd, 0.6) * 1e6,
+        lc.current(tech.vdd, 0.9) * 1e6
+    );
+    println!(
+        "driver parasitics: c_out = {:.2} fF, c_miller = {:.2} fF",
+        lc.c_out * 1e15,
+        lc.c_miller * 1e15
+    );
+
+    // --- Holding resistance.
+    let r_hold = holding_resistance(&victim, &mode, &Default::default())?;
+    println!("\nholding resistance (the linear baseline's victim model): {r_hold:.0} ohm");
+
+    // --- Thevenin aggressor fit.
+    let agg = Cell::inv(tech.clone(), 2.5);
+    let load = TheveninLoad::Pi {
+        c_near: 25e-15,
+        r: 100.0,
+        c_far: 40e-15,
+    };
+    let th = characterize_thevenin(&agg, true, 60e-12, &load)?;
+    println!(
+        "\naggressor Thevenin (INV x2.5, rising, 60 ps input slew, pi load): \
+         R_TH = {:.0} ohm, EMF = {:?}",
+        th.rth, th.wave
+    );
+
+    // --- Propagated-noise table.
+    let pt = characterize_propagated_noise(
+        &victim,
+        &mode,
+        60e-15,
+        &[0.3 * tech.vdd, 0.6 * tech.vdd, 0.9 * tech.vdd],
+        &[200e-12, 500e-12, 1000e-12],
+    )?;
+    println!("\npropagated-noise table (output peak in mV):");
+    print!("{:>12}", "h \\ w (ps)");
+    for &w in pt.peak.y_axis() {
+        print!("{:>9.0}", w * 1e12);
+    }
+    println!();
+    for (ix, &h) in pt.peak.x_axis().iter().enumerate() {
+        print!("{:>10.2} V", h);
+        for iy in 0..pt.peak.y_axis().len() {
+            print!("{:>9.1}", pt.peak.at(ix, iy) * 1e3);
+        }
+        println!();
+    }
+
+    // --- Receiver NRC.
+    let nrc = characterize_nrc(
+        &Cell::inv(tech, 1.0),
+        true,
+        &[100e-12, 300e-12, 900e-12],
+    )?;
+    println!("\nreceiver NRC (INV x1):");
+    for (w, h) in nrc.widths.iter().zip(&nrc.fail_heights) {
+        println!("  {:>5.0} ps wide glitches fail above {:.3} V", w * 1e12, h);
+    }
+    Ok(())
+}

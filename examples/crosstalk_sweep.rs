@@ -1,0 +1,69 @@
+//! Crosstalk design-space exploration with the macromodel engine.
+//!
+//! Sweeps coupling length, aggressor drive strength, and aggressor count on
+//! the paper's 0.13 µm victim, comparing the non-linear engine against the
+//! linear-superposition estimate at every point — the kind of what-if loop
+//! (spacing/shielding/driver-sizing decisions) that is only affordable
+//! because the macromodel is ~20× faster than transistor-level simulation.
+//!
+//! ```sh
+//! cargo run --release --example crosstalk_sweep
+//! ```
+
+use sna::prelude::*;
+
+fn main() -> sna::spice::Result<()> {
+    let base = table1_spec();
+
+    println!("== victim DP noise vs coupled length (one aggressor + glitch) ==");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "len (um)", "engine pk (V)", "superpos pk (V)", "sup err (%)"
+    );
+    for len_um in [125.0, 250.0, 500.0, 750.0, 1000.0] {
+        let mut spec = base.clone();
+        spec.bus = m4_bus(&spec.tech, 2, len_um, 16);
+        let model = ClusterMacromodel::build(&spec)?;
+        let eng = simulate_macromodel(&model)?.dp_metrics(model.q_out);
+        let sup = simulate_superposition(&model)?.dp_metrics(model.q_out);
+        println!(
+            "{:>10.0} {:>14.3} {:>16.3} {:>12.1}",
+            len_um,
+            eng.peak,
+            sup.peak,
+            100.0 * (sup.peak - eng.peak) / eng.peak
+        );
+    }
+
+    println!("\n== victim DP noise vs aggressor drive strength (500 um) ==");
+    println!("{:>10} {:>14} {:>14}", "strength", "engine pk (V)", "area (V*ps)");
+    for strength in [1.0, 2.0, 4.0, 8.0] {
+        let mut spec = base.clone();
+        spec.aggressors[0].cell = Cell::inv(spec.tech.clone(), strength);
+        let model = ClusterMacromodel::build(&spec)?;
+        let m = simulate_macromodel(&model)?.dp_metrics(model.q_out);
+        println!("{:>10.1} {:>14.3} {:>14.1}", strength, m.peak, m.area * 1e12);
+    }
+
+    println!("\n== victim DP noise vs aggressor count (in-phase, 500 um) ==");
+    println!("{:>10} {:>14} {:>14}", "count", "engine pk (V)", "area (V*ps)");
+    for n_agg in [1usize, 2, 3] {
+        let mut spec = base.clone();
+        spec.bus = m4_bus(&spec.tech, n_agg + 1, 500.0, 16);
+        while spec.aggressors.len() < n_agg {
+            let extra = spec.aggressors[0].clone();
+            spec.aggressors.push(extra);
+        }
+        spec.aggressors.truncate(n_agg);
+        let model = ClusterMacromodel::build(&spec)?;
+        let m = simulate_macromodel(&model)?.dp_metrics(model.q_out);
+        println!("{:>10} {:>14.3} {:>14.1}", n_agg, m.peak, m.area * 1e12);
+    }
+
+    println!(
+        "\nNote how the superposition error grows with coupling length: the \
+         deeper the victim is pushed into the non-linear region, the more \
+         optimistic the linear estimate becomes — the paper's core warning."
+    );
+    Ok(())
+}

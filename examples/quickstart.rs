@@ -1,0 +1,59 @@
+//! Quickstart: the paper's Table-1 noise cluster, end to end.
+//!
+//! Builds the 0.13 µm cluster (two 500 µm parallel M4 wires, INV aggressor,
+//! NAND2 victim holding low, one propagating input glitch), runs all four
+//! analyses — golden transistor-level, linear superposition, iterative
+//! Thevenin, and the paper's non-linear VCCS macromodel — and prints the
+//! Table-1-style comparison plus the Figure-1 macromodel topology.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sna::prelude::*;
+
+fn main() -> sna::spice::Result<()> {
+    // 1. Describe the cluster physically (or build your own ClusterSpec).
+    let spec = table1_spec();
+    println!(
+        "cluster: {} victim ({}), {} aggressor(s), {:.0} um parallel wires\n",
+        spec.victim.cell.cell_type.tag(),
+        spec.tech.name,
+        spec.aggressors.len(),
+        spec.bus.wires[0].length * 1e6,
+    );
+
+    // 2. Pre-characterize and reduce: this is the paper's Figure-1 model.
+    let model = ClusterMacromodel::build(&spec)?;
+    println!("macromodel topology:\n  {}\n", model.topology_summary());
+
+    // 3. The dedicated engine solves the macromodel in milliseconds.
+    let noise = simulate_macromodel(&model)?;
+    let m = noise.dp_metrics(model.q_out);
+    println!(
+        "engine result at DP_Vic: peak {:.3} V, width {:.0} ps, area {:.1} V*ps\n",
+        m.peak,
+        m.width * 1e12,
+        m.area * 1e12
+    );
+
+    // 4. Full four-way comparison against golden transistor-level sim.
+    let cmp = MethodComparison::run("table-1 cluster", &spec)?;
+    println!("{cmp}");
+
+    // 5. Sign-off: is the receiver upset? (NRC check.)
+    let nrc = characterize_nrc(
+        &spec.victim.receiver,
+        true,
+        &[100e-12, 200e-12, 400e-12, 800e-12],
+    )?;
+    let rm = noise.receiver.glitch_metrics(model.q_out);
+    println!(
+        "receiver glitch: peak {:.3} V, width {:.0} ps -> NRC margin {:+.3} V ({})",
+        rm.peak,
+        rm.width * 1e12,
+        nrc.margin(rm.width, rm.peak),
+        if nrc.classify(&rm) { "FAIL" } else { "pass" }
+    );
+    Ok(())
+}

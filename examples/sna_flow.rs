@@ -1,0 +1,84 @@
+//! Full static-noise-analysis flow over a synthetic design.
+//!
+//! The paper's stated future work — "a complete methodology for static
+//! noise analysis based on our macromodel" — run end to end: generate a
+//! randomized design (clusters of victims + aggressors with varied
+//! geometry), characterize the receiver's Noise Rejection Curve, evaluate
+//! every cluster with the non-linear engine (optionally at its worst-case
+//! alignment), and print the sign-off report.
+//!
+//! ```sh
+//! cargo run --release --example sna_flow
+//! ```
+
+use sna::prelude::*;
+
+fn main() -> sna::spice::Result<()> {
+    let tech = Technology::cmos130();
+    let n_clusters = 12;
+    let design = Design::random(&tech, n_clusters, 2005);
+    println!(
+        "design: {} clusters in {} (seed 2005)\n",
+        design.clusters.len(),
+        tech.name
+    );
+
+    // Receiver NRC (shared by all victims here: all receivers are INV x1).
+    let nrc = characterize_nrc(
+        &Cell::inv(tech.clone(), 1.0),
+        true,
+        &[100e-12, 200e-12, 400e-12, 800e-12, 1600e-12],
+    )?;
+    println!("receiver NRC (INV x1, upward glitch on low input):");
+    for (w, h) in nrc.widths.iter().zip(&nrc.fail_heights) {
+        println!("  width {:>5.0} ps -> fails above {:.3} V", w * 1e12, h);
+    }
+    println!();
+
+    // Nominal-timing pass.
+    let report = run_sna(&design, &nrc, &SnaOptions::default())?;
+    println!(
+        "nominal timing: {} pass, {} marginal, {} fail",
+        report.count(Verdict::Pass),
+        report.count(Verdict::MarginWarning),
+        report.count(Verdict::Fail)
+    );
+
+    // Worst-case alignment pass (the expensive sign-off question: can these
+    // events EVER line up badly?). Affordable only with the fast engine.
+    let worst = run_sna(
+        &design,
+        &nrc,
+        &SnaOptions {
+            align_worst_case: true,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "worst-case aligned: {} pass, {} marginal, {} fail\n",
+        worst.count(Verdict::Pass),
+        worst.count(Verdict::MarginWarning),
+        worst.count(Verdict::Fail)
+    );
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}  verdict",
+        "net", "peak (V)", "width(ps)", "margin(V)", "wc-margin"
+    );
+    for (f, fw) in report.findings.iter().zip(&worst.findings) {
+        println!(
+            "{:<8} {:>10.3} {:>10.0} {:>10.3} {:>10.3}  {:?}",
+            f.name,
+            f.receiver_metrics.peak,
+            f.receiver_metrics.width * 1e12,
+            f.margin,
+            fw.margin,
+            fw.verdict
+        );
+    }
+    println!("\nworst three nets (by worst-case margin):");
+    for f in worst.worst_first().iter().take(3) {
+        println!("  {}: margin {:+.3} V ({:?})", f.name, f.margin, f.verdict);
+    }
+    Ok(())
+}

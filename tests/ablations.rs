@@ -1,0 +1,128 @@
+//! Ablation studies from DESIGN.md §5, run as integration tests so the
+//! design decisions stay justified as the code evolves.
+
+use sna::prelude::*;
+
+fn quick(spec: &mut ClusterSpec) {
+    spec.bus.segments = 10;
+    spec.t_stop = 2.0e-9;
+}
+
+/// §5.4 — dropping the victim driver's characterized output/Miller caps
+/// from the macromodel measurably degrades accuracy against golden.
+#[test]
+fn driver_caps_matter() {
+    let mut spec = table1_spec();
+    quick(&mut spec);
+    let gold = simulate_golden(&spec).expect("golden");
+    let with_caps = ClusterMacromodel::build(&spec).expect("build");
+    let without_caps = ClusterMacromodel::build_with(
+        &spec,
+        &MacromodelOptions {
+            include_driver_caps: false,
+            ..Default::default()
+        },
+    )
+    .expect("build without caps");
+    let gm = gold.dp_metrics(with_caps.q_out);
+    let e_with = simulate_macromodel(&with_caps)
+        .expect("engine")
+        .dp_metrics(with_caps.q_out)
+        .error_percent_vs(&gm);
+    let e_without = simulate_macromodel(&without_caps)
+        .expect("engine")
+        .dp_metrics(without_caps.q_out)
+        .error_percent_vs(&gm);
+    assert!(
+        e_without.peak_pct.abs() > e_with.peak_pct.abs(),
+        "dropping driver caps should hurt: with={:+.2}% without={:+.2}%",
+        e_with.peak_pct,
+        e_without.peak_pct
+    );
+}
+
+/// §5.2 — a first-order reduction is worse than the default q=3 (and the
+/// default is already indistinguishable from the full ladder at the
+/// waveform level, per the sna-mor unit tests).
+#[test]
+fn reduction_order_matters() {
+    let mut spec = table1_spec();
+    quick(&mut spec);
+    let gold = simulate_golden(&spec).expect("golden");
+    let q3 = ClusterMacromodel::build(&spec).expect("q3");
+    let q1 = ClusterMacromodel::build_with(
+        &spec,
+        &MacromodelOptions {
+            reduction_order: 1,
+            ..Default::default()
+        },
+    )
+    .expect("q1");
+    assert!(q1.reduced.dim() < q3.reduced.dim());
+    let gm = gold.dp_metrics(q3.q_out);
+    let e3 = simulate_macromodel(&q3)
+        .expect("engine q3")
+        .dp_metrics(q3.q_out)
+        .error_percent_vs(&gm);
+    let e1 = simulate_macromodel(&q1)
+        .expect("engine q1")
+        .dp_metrics(q1.q_out)
+        .error_percent_vs(&gm);
+    assert!(
+        e1.area_pct.abs() + e1.peak_pct.abs() >= e3.area_pct.abs() + e3.peak_pct.abs() - 0.5,
+        "q=1 should not beat q=3: q1 ({:+.2}%, {:+.2}%) vs q3 ({:+.2}%, {:+.2}%)",
+        e1.peak_pct,
+        e1.area_pct,
+        e3.peak_pct,
+        e3.area_pct
+    );
+}
+
+/// §5.1 — a very coarse Eq. (1) grid degrades the engine's accuracy.
+#[test]
+fn table_resolution_matters() {
+    let mut spec = table1_spec();
+    quick(&mut spec);
+    let gold = simulate_golden(&spec).expect("golden");
+    let fine = ClusterMacromodel::build(&spec).expect("33-grid");
+    let mut coarse_spec = spec.clone();
+    coarse_spec.char_opts.grid = 5;
+    let coarse = ClusterMacromodel::build(&coarse_spec).expect("5-grid");
+    let gm = gold.dp_metrics(fine.q_out);
+    let e_fine = simulate_macromodel(&fine)
+        .expect("engine")
+        .dp_metrics(fine.q_out)
+        .error_percent_vs(&gm);
+    let e_coarse = simulate_macromodel(&coarse)
+        .expect("engine")
+        .dp_metrics(coarse.q_out)
+        .error_percent_vs(&gm);
+    // The 5-point table aliases the saturation knee; expect visibly worse
+    // area tracking.
+    assert!(
+        e_coarse.area_pct.abs() > e_fine.area_pct.abs(),
+        "coarse grid should hurt area: fine={:+.2}% coarse={:+.2}%",
+        e_fine.area_pct,
+        e_coarse.area_pct
+    );
+}
+
+/// §5.3 — halving the engine's time step changes the answer by far less
+/// than the model error budget (the default step is converged).
+#[test]
+fn timestep_is_converged() {
+    let mut spec = table1_spec();
+    quick(&mut spec);
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    let coarse = simulate_macromodel(&model)
+        .expect("engine")
+        .dp_metrics(model.q_out);
+    let mut spec_fine = spec.clone();
+    spec_fine.dt = 0.5e-12;
+    let model_fine = ClusterMacromodel::build(&spec_fine).expect("build fine");
+    let fine = simulate_macromodel(&model_fine)
+        .expect("engine")
+        .dp_metrics(model_fine.q_out);
+    let dpk = (coarse.peak - fine.peak).abs() / fine.peak;
+    assert!(dpk < 0.005, "time step not converged: {dpk:.4}");
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: every substrate handing off to the next.
+//!
+//! geometry (sna-interconnect) → circuit (sna-spice) → moments/reduction
+//! (sna-mor) → characterized cells (sna-cells) → cluster engine (sna-core),
+//! checked against each other at the seams.
+
+use sna::prelude::*;
+
+/// The reduced interconnect model used by the engine conserves the total
+/// capacitance the geometry defines (first-moment exactness end to end).
+#[test]
+fn geometry_to_reduction_conserves_capacitance() {
+    let tech = Technology::cmos130();
+    let bus = m4_bus(&tech, 2, 500.0, 25);
+    let mut ckt = sna::spice::netlist::Circuit::new();
+    let nets = bus.instantiate(&mut ckt, "n").expect("bus");
+    let ports = [nets[0].near, nets[1].near];
+    let m = port_admittance_moments(&ckt, &ports, 1).expect("moments");
+    let m4 = tech.metal(4);
+    let want_ground = m4.cg_per_m * 500e-6;
+    let want_coupling = m4.cc_per_m * 500e-6;
+    // Diagonal = ground + coupling; off-diagonal = -coupling.
+    assert!(
+        (m[0][(0, 0)] - (want_ground + want_coupling)).abs() / (want_ground + want_coupling)
+            < 1e-6
+    );
+    assert!((m[0][(0, 1)] + want_coupling).abs() / want_coupling < 1e-6);
+}
+
+/// A characterized cell deck round-trips through the SPICE writer/parser
+/// and still solves to the same operating point.
+#[test]
+fn golden_cluster_deck_roundtrip() {
+    let spec = table1_spec();
+    let (ckt, vic_dp, _, _) = build_golden_circuit(&spec).expect("golden circuit");
+    let deck = sna::spice::parser::write_deck(&ckt, "table1 golden cluster");
+    let parsed = sna::spice::parser::parse_deck(&deck).expect("parse back");
+    // Same element census (mosfet caps regenerate deterministically).
+    assert_eq!(parsed.circuit.element_count(), ckt.element_count());
+    // Same DC operating point at the victim driving point.
+    let opts = sna::spice::dc::NewtonOptions::default();
+    let s1 = sna::spice::dc::dc_operating_point(&ckt, &opts, None).expect("dc original");
+    let s2 =
+        sna::spice::dc::dc_operating_point(&parsed.circuit, &opts, None).expect("dc reparsed");
+    let dp2 = parsed
+        .circuit
+        .find_node(ckt.node_name(vic_dp))
+        .expect("dp node survives");
+    assert!((s1.voltage(vic_dp) - s2.voltage(dp2)).abs() < 1e-6);
+}
+
+/// The load curve characterized by sna-cells reproduces, at the quiescent
+/// point, the holding conductance probed independently by sna-spice.
+#[test]
+fn load_curve_agrees_with_small_signal_probe() {
+    let tech = Technology::cmos130();
+    let cell = Cell::nand2(tech.clone(), 1.0);
+    let mode = cell.holding_low_mode();
+    let lc = characterize_load_curve(&cell, &mode, &CharacterizeOptions::default())
+        .expect("load curve");
+    let r_probe =
+        holding_resistance(&cell, &mode, &Default::default()).expect("holding resistance");
+    let g_table = lc.conductance(tech.vdd, 0.0);
+    let r_table = 1.0 / g_table;
+    let rel = (r_probe - r_table).abs() / r_probe;
+    assert!(
+        rel < 0.1,
+        "probe {r_probe:.0} ohm vs 33-grid table slope {r_table:.0} ohm"
+    );
+}
+
+/// Engine and golden agree on a quiet cluster (no events → no noise), the
+/// degenerate end-to-end case.
+#[test]
+fn quiet_cluster_agrees_everywhere() {
+    let mut spec = table1_spec();
+    spec.victim.glitch = None;
+    spec.aggressors[0].switch_time = 1.0; // outside the window
+    spec.bus.segments = 10;
+    spec.t_stop = 1.0e-9;
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    let gold = simulate_golden(&spec).expect("golden");
+    let eng = simulate_macromodel(&model).expect("engine");
+    let sup = simulate_superposition(&model).expect("superposition");
+    for (name, w) in [("golden", &gold), ("engine", &eng), ("superposition", &sup)] {
+        let m = w.dp.glitch_metrics(model.q_out);
+        assert!(m.peak < 0.02, "{name} invented {} V of noise", m.peak);
+    }
+}
+
+/// The receiver waveform the engine reports is consistent with re-simulating
+/// the reduced system: receiver ≈ DP filtered through the victim wire (no
+/// amplification, bounded delay).
+#[test]
+fn receiver_tap_is_filtered_dp() {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    let res = simulate_macromodel(&model).expect("engine");
+    let dp = res.dp.glitch_metrics(model.q_out);
+    let rc = res.receiver.glitch_metrics(model.q_out);
+    assert!(rc.peak <= dp.peak * 1.25 + 0.02, "receiver amplified the glitch");
+    assert!(rc.peak >= dp.peak * 0.5, "receiver lost the glitch");
+    assert!(rc.peak_time + 1e-12 >= dp.peak_time - 50e-12, "receiver peak before DP peak");
+}

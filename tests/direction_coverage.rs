@@ -1,0 +1,102 @@
+//! Integration coverage for §2's extension sentence: "clusters with
+//! several aggressors with different switching directions and phase
+//! alignments".
+//!
+//! Three polarity regimes, each validated engine-vs-golden:
+//! * rising aggressor on a low-held victim (the canonical Table-1 case,
+//!   covered in `table_shapes.rs`);
+//! * falling aggressor on a high-held victim (everything mirrored);
+//! * anti-phase aggressor pair (contributions nearly cancel — a regime
+//!   where absolute noise is small and models can embarrass themselves).
+
+use sna::prelude::*;
+
+fn quick(spec: &mut ClusterSpec) {
+    spec.bus.segments = 10;
+    spec.t_stop = 2.0e-9;
+}
+
+#[test]
+fn falling_aggressor_high_victim_mirrors_table1() {
+    let mut spec = falling_spec();
+    quick(&mut spec);
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    assert!(!model.thevenins[0].rising);
+    assert_eq!(model.q_out, spec.tech.vdd);
+    let gold = simulate_golden(&spec).expect("golden");
+    let eng = simulate_macromodel(&model).expect("engine");
+    let sup = simulate_superposition(&model).expect("superposition");
+    let gm = gold.dp_metrics(model.q_out);
+    let em = eng.dp_metrics(model.q_out);
+    let sm = sup.dp_metrics(model.q_out);
+    // Downward glitch on the high rail.
+    assert_eq!(gm.polarity, -1.0, "golden glitch should dip");
+    assert_eq!(em.polarity, -1.0, "engine glitch should dip");
+    // Engine within a few percent; superposition still badly optimistic.
+    let e_eng = em.error_percent_vs(&gm);
+    let e_sup = sm.error_percent_vs(&gm);
+    assert!(
+        e_eng.peak_pct.abs() < 6.0,
+        "engine peak error {:+.1}%",
+        e_eng.peak_pct
+    );
+    assert!(
+        e_sup.peak_pct < -15.0,
+        "superposition should underestimate: {:+.1}%",
+        e_sup.peak_pct
+    );
+    // DC initialization held the rail: the waveform starts at ~Vdd.
+    assert!((eng.dp.value_at(0.0) - spec.tech.vdd).abs() < 0.03);
+}
+
+#[test]
+fn anti_phase_aggressors_mostly_cancel() {
+    let mut in_phase = table2_spec();
+    let mut anti_phase = mixed_phase_spec();
+    quick(&mut in_phase);
+    quick(&mut anti_phase);
+    let m_in = ClusterMacromodel::build(&in_phase).expect("in-phase");
+    let m_anti = ClusterMacromodel::build(&anti_phase).expect("anti-phase");
+    let p_in = simulate_macromodel(&m_in)
+        .expect("engine")
+        .dp_metrics(m_in.q_out)
+        .peak;
+    let p_anti = simulate_macromodel(&m_anti)
+        .expect("engine")
+        .dp_metrics(m_anti.q_out)
+        .peak;
+    assert!(
+        p_anti < 0.5 * p_in,
+        "anti-phase pair should largely cancel: in-phase {p_in:.3} V, anti-phase {p_anti:.3} V"
+    );
+    // And the engine still tracks golden in the cancellation regime.
+    let gold = simulate_golden(&anti_phase).expect("golden");
+    let gm = gold.dp_metrics(m_anti.q_out);
+    let em = simulate_macromodel(&m_anti)
+        .expect("engine")
+        .dp_metrics(m_anti.q_out);
+    let rel = (em.peak - gm.peak).abs() / gm.peak.max(0.02);
+    assert!(
+        rel < 0.12,
+        "cancellation regime mismatch: golden {:.3} V, engine {:.3} V",
+        gm.peak,
+        em.peak
+    );
+}
+
+#[test]
+fn opposite_direction_thevenins_have_opposite_ramps() {
+    let mut spec = mixed_phase_spec();
+    quick(&mut spec);
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    match (&model.thevenins[0].wave, &model.thevenins[1].wave) {
+        (
+            sna::spice::devices::SourceWaveform::Ramp { v0: a0, v1: a1, .. },
+            sna::spice::devices::SourceWaveform::Ramp { v0: b0, v1: b1, .. },
+        ) => {
+            assert!(a1 > a0, "first aggressor rises");
+            assert!(b1 < b0, "second aggressor falls");
+        }
+        other => panic!("expected two ramps, got {other:?}"),
+    }
+}

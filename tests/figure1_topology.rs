@@ -1,0 +1,72 @@
+//! Integration test for experiment F1 (DESIGN.md): the built cluster
+//! macromodel must have exactly the Figure-1 topology of the paper —
+//! a non-linear VCCS at `DP_Vic`, one Thevenin (saturated-ramp EMF behind a
+//! resistance) per aggressor, a moment-matched coupled interconnect model
+//! exposing the driving points, and capacitive receivers absorbed into it.
+
+use sna::prelude::*;
+
+#[test]
+fn figure1_single_aggressor_topology() {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    // Ports: DP_Vic, one aggressor DP, the victim receiver tap.
+    assert_eq!(model.port_roles.len(), 3);
+    assert_eq!(model.port_roles[0], PortRole::VictimDp);
+    assert_eq!(model.port_roles[1], PortRole::AggressorDp(0));
+    assert_eq!(model.port_roles[2], PortRole::VictimReceiver);
+    // The victim driver is the table VCCS of Eq. (1): a full 2-D grid over
+    // the characterization range.
+    assert_eq!(model.load_curve.table.x_axis().len(), 33);
+    assert_eq!(model.load_curve.table.y_axis().len(), 33);
+    let vdd = spec.tech.vdd;
+    assert!(model.load_curve.table.x_axis()[0] <= -0.29 * vdd);
+    assert!(*model.load_curve.table.x_axis().last().unwrap() >= 1.29 * vdd);
+    // One Thevenin per aggressor, EMF is a saturated ramp.
+    assert_eq!(model.thevenins.len(), 1);
+    match &model.thevenins[0].wave {
+        sna::spice::devices::SourceWaveform::Ramp { v0, v1, t_rise, .. } => {
+            assert_eq!(*v0, 0.0);
+            assert_eq!(*v1, vdd);
+            assert!(*t_rise > 0.0);
+        }
+        other => panic!("EMF should be a saturated ramp, got {other:?}"),
+    }
+    assert!(model.thevenins[0].rth > 10.0);
+    // Reduced interconnect: small fixed order regardless of extraction
+    // detail, with the coupling retained (off-diagonal B^T G B structure is
+    // not directly observable; check dimensions and passivity proxies).
+    assert!(model.reduced.dim() <= 9);
+    assert_eq!(model.reduced.n_ports(), 3);
+    // Summary mentions all Figure-1 actors.
+    let s = model.topology_summary();
+    for needle in ["VCCS", "DP_Vic", "agg0", "Rth", "reduced interconnect"] {
+        assert!(s.contains(needle), "summary missing {needle}: {s}");
+    }
+}
+
+#[test]
+fn figure1_two_aggressor_topology() {
+    let spec = table2_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    assert_eq!(model.thevenins.len(), 2);
+    assert_eq!(model.port_roles.len(), 4);
+    assert_eq!(model.aggressor_port(0), 1);
+    assert_eq!(model.aggressor_port(1), 2);
+    // In-phase aggressors: both EMFs cross 50 % at (almost) the same time.
+    let dt50 = (model.thevenins[0].t50() - model.thevenins[1].t50()).abs();
+    assert!(dt50 < 20e-12, "in-phase EMFs misaligned by {dt50:e}");
+}
+
+#[test]
+fn retiming_does_not_rebuild_characterization() {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build");
+    let moved = model.with_timing(&[0.9e-9], Some(1.0e-9));
+    // Same characterization artifacts (tables are compared by value).
+    assert_eq!(moved.load_curve.table, model.load_curve.table);
+    assert_eq!(moved.r_hold, model.r_hold);
+    assert_eq!(moved.reduced, model.reduced);
+    // Timing moved.
+    assert!((moved.thevenins[0].t50() - model.thevenins[0].t50() - 0.5e-9).abs() < 1e-12);
+}

@@ -1,0 +1,92 @@
+//! Integration test of the characterization library: a design-level flow
+//! must reuse per-cell artifacts across clusters and agree with the
+//! uncached path.
+
+use std::time::Instant;
+
+use sna::prelude::*;
+
+#[test]
+fn library_reuses_artifacts_across_clusters() {
+    // Two clusters sharing the same victim cell + drive state.
+    let mut a = table1_spec();
+    let mut b = table1_spec();
+    a.bus.segments = 8;
+    b.bus.segments = 8;
+    a.t_stop = 1.5e-9;
+    b.t_stop = 1.5e-9;
+    b.bus = m4_bus(&b.tech, 2, 700.0, 8); // different geometry, same cells
+    let mut lib = NoiseModelLibrary::new();
+    let opts = MacromodelOptions::default();
+    let _ma = ClusterMacromodel::build_with_library(&a, &opts, &mut lib).expect("a");
+    let misses_after_first = lib.stats().misses;
+    let _mb = ClusterMacromodel::build_with_library(&b, &opts, &mut lib).expect("b");
+    assert!(
+        lib.stats().hits >= 2,
+        "second cluster should hit the cache: {:?}",
+        lib.stats()
+    );
+    // The load curve and holding resistance are shared; only the prop
+    // table may re-characterize if the load bucket changed.
+    assert!(
+        lib.stats().misses <= misses_after_first + 1,
+        "unexpected re-characterization: {:?}",
+        lib.stats()
+    );
+}
+
+#[test]
+fn library_path_matches_direct_path() {
+    let mut spec = table1_spec();
+    spec.bus.segments = 8;
+    spec.t_stop = 1.5e-9;
+    let direct = ClusterMacromodel::build(&spec).expect("direct");
+    let mut lib = NoiseModelLibrary::new();
+    let cached =
+        ClusterMacromodel::build_with_library(&spec, &MacromodelOptions::default(), &mut lib)
+            .expect("cached");
+    // Load curve identical (exact reuse).
+    assert_eq!(direct.load_curve.table, cached.load_curve.table);
+    assert_eq!(direct.r_hold, cached.r_hold);
+    // Engine results agree to numerical noise (the prop table may be
+    // characterized at a bucketed load, which only affects the
+    // superposition baseline).
+    let d = simulate_macromodel(&direct).expect("direct engine");
+    let c = simulate_macromodel(&cached).expect("cached engine");
+    let dm = d.dp_metrics(direct.q_out);
+    let cm = c.dp_metrics(cached.q_out);
+    assert!((dm.peak - cm.peak).abs() < 1e-9);
+    // Superposition with the bucketed table stays within a few percent of
+    // the exact-load table.
+    let ds = simulate_superposition(&direct)
+        .expect("direct sup")
+        .dp_metrics(direct.q_out);
+    let cs = simulate_superposition(&cached)
+        .expect("cached sup")
+        .dp_metrics(cached.q_out);
+    assert!(
+        (ds.peak - cs.peak).abs() / ds.peak < 0.06,
+        "bucketing moved superposition too far: {} vs {}",
+        ds.peak,
+        cs.peak
+    );
+}
+
+#[test]
+fn library_speeds_up_repeated_builds() {
+    let mut spec = table1_spec();
+    spec.bus.segments = 8;
+    spec.t_stop = 1.5e-9;
+    let mut lib = NoiseModelLibrary::new();
+    let opts = MacromodelOptions::default();
+    let t0 = Instant::now();
+    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &mut lib).expect("cold");
+    let cold = t0.elapsed();
+    let t0 = Instant::now();
+    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &mut lib).expect("warm");
+    let warm = t0.elapsed();
+    assert!(
+        warm < cold / 2,
+        "cache should at least halve the build: cold {cold:?}, warm {warm:?}"
+    );
+}

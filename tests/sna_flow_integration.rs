@@ -1,0 +1,66 @@
+//! Integration test of the full SNA methodology (the paper's future-work
+//! section, implemented in `sna-core::sna`): random design generation,
+//! engine-based evaluation, worst-case alignment, NRC classification.
+
+use sna::prelude::*;
+
+#[test]
+fn sna_flow_end_to_end() {
+    let tech = Technology::cmos130();
+    let design = Design::random(&tech, 6, 99);
+    let nrc = characterize_nrc(
+        &Cell::inv(tech.clone(), 1.0),
+        true,
+        &[100e-12, 300e-12, 900e-12],
+    )
+    .expect("nrc");
+    let nominal = run_sna(&design, &nrc, &SnaOptions::default()).expect("nominal pass");
+    assert_eq!(nominal.findings.len(), 6);
+    // Verdicts partition the design.
+    let total = nominal.count(Verdict::Pass)
+        + nominal.count(Verdict::MarginWarning)
+        + nominal.count(Verdict::Fail);
+    assert_eq!(total, 6);
+    // Margins are finite and consistent with verdicts.
+    for f in &nominal.findings {
+        assert!(f.margin.is_finite());
+        match f.verdict {
+            Verdict::Fail => assert!(f.margin < 0.0),
+            Verdict::MarginWarning => assert!(f.margin >= 0.0),
+            Verdict::Pass => assert!(f.margin >= 0.0),
+        }
+    }
+}
+
+#[test]
+fn worst_case_alignment_never_improves_margin() {
+    // The whole point of the alignment search: worst-case margins must be
+    // less than or equal to nominal margins (up to search noise).
+    let tech = Technology::cmos130();
+    let design = Design::random(&tech, 3, 7);
+    let nrc = characterize_nrc(
+        &Cell::inv(tech.clone(), 1.0),
+        true,
+        &[100e-12, 300e-12, 900e-12],
+    )
+    .expect("nrc");
+    let nominal = run_sna(&design, &nrc, &SnaOptions::default()).expect("nominal");
+    let worst = run_sna(
+        &design,
+        &nrc,
+        &SnaOptions {
+            align_worst_case: true,
+            ..Default::default()
+        },
+    )
+    .expect("worst-case");
+    for (n, w) in nominal.findings.iter().zip(&worst.findings) {
+        assert!(
+            w.margin <= n.margin + 0.02,
+            "{}: worst-case margin {:.3} > nominal {:.3}",
+            n.name,
+            w.margin,
+            n.margin
+        );
+    }
+}
