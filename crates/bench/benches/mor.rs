@@ -46,8 +46,12 @@ fn reduced_simulation_cost(c: &mut Criterion) {
     let red = prima_reduce(&ckt, &ports, DEFAULT_Q, DEFAULT_S0).expect("prima");
     c.bench_function("mor/reduced_transient_3ns", |b| {
         b.iter(|| {
-            red.simulate_linear(|t| vec![0.0, if t > 0.2e-9 { 1e-3 } else { 0.0 }], 1e-12, 3e-9)
-                .expect("sim")
+            red.simulate_linear(
+                |t| vec![0.0, if t > 0.2e-9 { 1e-3 } else { 0.0 }],
+                1e-12,
+                3e-9,
+            )
+            .expect("sim")
         })
     });
     let mut full = ckt.clone();

@@ -87,7 +87,7 @@ fn main() {
         zol_area.push(cmp.zolotov.area_err_pct);
         if worst
             .as_ref()
-            .map_or(true, |(_, w)| cmp.macromodel.peak_err_pct.abs() > *w)
+            .is_none_or(|(_, w)| cmp.macromodel.peak_err_pct.abs() > *w)
         {
             worst = Some((case.id.clone(), cmp.macromodel.peak_err_pct.abs()));
         }
@@ -101,7 +101,10 @@ fn main() {
         );
     }
     println!();
-    println!("=== error distribution vs golden (n = {}) ===", mac_peak.count);
+    println!(
+        "=== error distribution vs golden (n = {}) ===",
+        mac_peak.count
+    );
     let line = |name: &str, pk: &Stats, ar: &Stats| {
         println!(
             "{name:<24} peak: mean|e|={:.1}%  max|e|={:.1}%  range [{:+.1}, {:+.1}]%   \

@@ -185,8 +185,26 @@ impl Cell {
         let (wn, wp) = (self.wn(), self.wp());
         match self.cell_type {
             CellType::Inv => {
-                ckt.add_mosfet(&format!("{prefix}.mn"), output, inputs[0], gnd, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mp"), output, inputs[0], vdd, vdd, p, wp, l)?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mn"),
+                    output,
+                    inputs[0],
+                    gnd,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mp"),
+                    output,
+                    inputs[0],
+                    vdd,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
             }
             CellType::Buf => {
                 let mid = ckt.node(&format!("{prefix}.x"));
@@ -198,30 +216,138 @@ impl Cell {
             CellType::Nand2 => {
                 // NMOS stack: a on top (next to output), b at the bottom.
                 let mid = ckt.node(&format!("{prefix}.mid"));
-                ckt.add_mosfet(&format!("{prefix}.mna"), output, inputs[0], mid, gnd, n, wn, l)?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mna"),
+                    output,
+                    inputs[0],
+                    mid,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
                 ckt.add_mosfet(&format!("{prefix}.mnb"), mid, inputs[1], gnd, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpa"), output, inputs[0], vdd, vdd, p, wp, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpb"), output, inputs[1], vdd, vdd, p, wp, l)?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpa"),
+                    output,
+                    inputs[0],
+                    vdd,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpb"),
+                    output,
+                    inputs[1],
+                    vdd,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
             }
             CellType::Nor2 => {
                 // PMOS stack: a on top, b next to output.
                 let mid = ckt.node(&format!("{prefix}.mid"));
                 ckt.add_mosfet(&format!("{prefix}.mpa"), mid, inputs[0], vdd, vdd, p, wp, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpb"), output, inputs[1], mid, vdd, p, wp, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mna"), output, inputs[0], gnd, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mnb"), output, inputs[1], gnd, gnd, n, wn, l)?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpb"),
+                    output,
+                    inputs[1],
+                    mid,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mna"),
+                    output,
+                    inputs[0],
+                    gnd,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mnb"),
+                    output,
+                    inputs[1],
+                    gnd,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
             }
             CellType::Aoi21 => {
                 // out = !((a & b) | c): NMOS (a series b) parallel c;
                 // PMOS (a parallel b) series c.
                 let nmid = ckt.node(&format!("{prefix}.nmid"));
                 let pmid = ckt.node(&format!("{prefix}.pmid"));
-                ckt.add_mosfet(&format!("{prefix}.mna"), output, inputs[0], nmid, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mnb"), nmid, inputs[1], gnd, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mnc"), output, inputs[2], gnd, gnd, n, wn, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpa"), pmid, inputs[0], vdd, vdd, p, wp, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpb"), pmid, inputs[1], vdd, vdd, p, wp, l)?;
-                ckt.add_mosfet(&format!("{prefix}.mpc"), output, inputs[2], pmid, vdd, p, wp, l)?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mna"),
+                    output,
+                    inputs[0],
+                    nmid,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mnb"),
+                    nmid,
+                    inputs[1],
+                    gnd,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mnc"),
+                    output,
+                    inputs[2],
+                    gnd,
+                    gnd,
+                    n,
+                    wn,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpa"),
+                    pmid,
+                    inputs[0],
+                    vdd,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpb"),
+                    pmid,
+                    inputs[1],
+                    vdd,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
+                ckt.add_mosfet(
+                    &format!("{prefix}.mpc"),
+                    output,
+                    inputs[2],
+                    pmid,
+                    vdd,
+                    p,
+                    wp,
+                    l,
+                )?;
             }
         }
         Ok(CellPorts {
@@ -281,15 +407,26 @@ mod tests {
     fn dc_out(cell: &Cell, levels: &[f64]) -> f64 {
         let mut ckt = Circuit::new();
         let vddn = ckt.node("vdd");
-        ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(cell.tech.vdd));
+        ckt.add_vsource(
+            "Vdd",
+            vddn,
+            Circuit::gnd(),
+            SourceWaveform::Dc(cell.tech.vdd),
+        );
         let inputs: Vec<NodeId> = (0..cell.input_count())
             .map(|i| ckt.node(&format!("in{i}")))
             .collect();
         for (i, (&node, &v)) in inputs.iter().zip(levels).enumerate() {
-            ckt.add_vsource(&format!("Vin{i}"), node, Circuit::gnd(), SourceWaveform::Dc(v));
+            ckt.add_vsource(
+                &format!("Vin{i}"),
+                node,
+                Circuit::gnd(),
+                SourceWaveform::Dc(v),
+            );
         }
         let out = ckt.node("out");
-        cell.instantiate(&mut ckt, "u1", &inputs, out, vddn).unwrap();
+        cell.instantiate(&mut ckt, "u1", &inputs, out, vddn)
+            .unwrap();
         let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
         sol.voltage(out)
     }
@@ -347,7 +484,12 @@ mod tests {
     #[test]
     fn holding_modes_consistent_with_truth_tables() {
         let t = Technology::cmos130();
-        for ct in [CellType::Inv, CellType::Nand2, CellType::Nor2, CellType::Aoi21] {
+        for ct in [
+            CellType::Inv,
+            CellType::Nand2,
+            CellType::Nor2,
+            CellType::Aoi21,
+        ] {
             let c = Cell::new(ct, t.clone(), 1.0);
             let low = c.holding_low_mode();
             assert_eq!(low.input_levels.len(), c.input_count());

@@ -46,8 +46,10 @@ mod tests {
         let t = Technology::cmos130();
         let c1 = Cell::nand2(t.clone(), 1.0);
         let c4 = Cell::nand2(t, 4.0);
-        let r1 = holding_resistance(&c1, &c1.holding_low_mode(), &NewtonOptions::default()).unwrap();
-        let r4 = holding_resistance(&c4, &c4.holding_low_mode(), &NewtonOptions::default()).unwrap();
+        let r1 =
+            holding_resistance(&c1, &c1.holding_low_mode(), &NewtonOptions::default()).unwrap();
+        let r4 =
+            holding_resistance(&c4, &c4.holding_low_mode(), &NewtonOptions::default()).unwrap();
         assert!(r4 < r1 / 3.0, "r1={r1} r4={r4}");
     }
 
@@ -59,8 +61,8 @@ mod tests {
         // PMOS one is larger than an equivalally-sized NMOS would give.
         let t = Technology::cmos130();
         let cell = Cell::inv(t, 1.0);
-        let r_low = holding_resistance(&cell, &cell.holding_low_mode(), &NewtonOptions::default())
-            .unwrap();
+        let r_low =
+            holding_resistance(&cell, &cell.holding_low_mode(), &NewtonOptions::default()).unwrap();
         let r_high =
             holding_resistance(&cell, &cell.holding_high_mode(), &NewtonOptions::default())
                 .unwrap();

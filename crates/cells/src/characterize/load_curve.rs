@@ -74,13 +74,18 @@ pub fn characterize_load_curve(
     let mut fx = driver_fixture(cell, mode)?;
     let (c_out, c_miller) = driver_output_caps(&fx);
     // Clamp the output with a source so its branch current measures I_DC.
-    fx.ckt
-        .add_vsource("Vout", fx.out, sna_spice::netlist::Circuit::gnd(), SourceWaveform::Dc(0.0));
+    fx.ckt.add_vsource(
+        "Vout",
+        fx.out,
+        sna_spice::netlist::Circuit::gnd(),
+        SourceWaveform::Dc(0.0),
+    );
 
     let mut values = Vec::with_capacity(vin_axis.len() * vout_axis.len());
     let mut warm: Option<Vec<f64>> = None;
     for &vin in &vin_axis {
-        fx.ckt.set_source_wave(&fx.noisy_source, SourceWaveform::Dc(vin))?;
+        fx.ckt
+            .set_source_wave(&fx.noisy_source, SourceWaveform::Dc(vin))?;
         for &vout in &vout_axis {
             fx.ckt.set_source_wave("Vout", SourceWaveform::Dc(vout))?;
             let sol = dc_operating_point(&fx.ckt, &opts.newton, warm.as_deref())?;

@@ -80,7 +80,12 @@ pub struct DriverFixture {
 pub fn driver_fixture(cell: &Cell, mode: &DriverMode) -> Result<DriverFixture> {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
-    ckt.add_vsource("Vdd", vdd, Circuit::gnd(), SourceWaveform::Dc(cell.tech.vdd));
+    ckt.add_vsource(
+        "Vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWaveform::Dc(cell.tech.vdd),
+    );
     let inputs: Vec<NodeId> = (0..cell.input_count())
         .map(|i| ckt.node(&format!("in{i}")))
         .collect();

@@ -78,7 +78,7 @@ impl PropagatedNoiseTable {
         let mut ts = Vec::with_capacity(times.len());
         let mut vs = Vec::with_capacity(values.len());
         for (t, v) in times.drain(..).zip(values.drain(..)) {
-            if ts.last().map_or(true, |&last| t > last) {
+            if ts.last().is_none_or(|&last| t > last) {
                 ts.push(t);
                 vs.push(v);
             }
@@ -120,10 +120,18 @@ pub fn characterize_propagated_noise(
     let vdd = cell.tech.vdd;
     let q_in = mode.input_levels[mode.noisy_input];
     let sign = glitch_sign(mode, vdd);
-    let out_pol = if mode.output_level < 0.5 * vdd { 1.0 } else { -1.0 };
+    let out_pol = if mode.output_level < 0.5 * vdd {
+        1.0
+    } else {
+        -1.0
+    };
     let mut fx = driver_fixture(cell, mode)?;
-    fx.ckt
-        .add_capacitor("Cload", fx.out, sna_spice::netlist::Circuit::gnd(), load_cap)?;
+    fx.ckt.add_capacitor(
+        "Cload",
+        fx.out,
+        sna_spice::netlist::Circuit::gnd(),
+        load_cap,
+    )?;
     let mut peak = Vec::with_capacity(heights.len() * widths.len());
     let mut width50 = Vec::with_capacity(peak.capacity());
     let mut area = Vec::with_capacity(peak.capacity());
@@ -189,10 +197,7 @@ mod tests {
         let tbl = nand2_table();
         let (p_small, ..) = tbl.lookup(0.36, 500.0 * PS);
         let (p_big, ..) = tbl.lookup(1.05, 500.0 * PS);
-        assert!(
-            p_big > p_small + 0.01,
-            "p_small={p_small} p_big={p_big}"
-        );
+        assert!(p_big > p_small + 0.01, "p_small={p_small} p_big={p_big}");
         // Output glitch on a low-held NAND2 rises.
         assert_eq!(tbl.output_polarity, 1.0);
     }

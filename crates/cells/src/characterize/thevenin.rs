@@ -100,7 +100,9 @@ impl TheveninDriver {
     /// Time of the 50 % point of the EMF ramp.
     pub fn t50(&self) -> f64 {
         match &self.wave {
-            SourceWaveform::Ramp { t_start, t_rise, .. } => t_start + 0.5 * t_rise,
+            SourceWaveform::Ramp {
+                t_start, t_rise, ..
+            } => t_start + 0.5 * t_rise,
             other => other.last_event_time() * 0.5,
         }
     }
@@ -141,7 +143,11 @@ fn simulate_driver(
     let vdd_v = cell.tech.vdd;
     // For an inverting cell the input falls to make the output rise.
     let input_rising = rising ^ cell.is_inverting();
-    let (v0, v1) = if input_rising { (0.0, vdd_v) } else { (vdd_v, 0.0) };
+    let (v0, v1) = if input_rising {
+        (0.0, vdd_v)
+    } else {
+        (vdd_v, 0.0)
+    };
     let t_start = T_INPUT_ONSET;
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
@@ -268,29 +274,30 @@ pub fn characterize_thevenin(
         Ok((err, T_REPLAY_ONSET + shift))
     };
     // Coordinate descent: t_rise, then rth, then t_rise again.
-    let golden_min = |f: &mut dyn FnMut(f64) -> Result<f64>, mut a: f64, mut b: f64| -> Result<f64> {
-        let phi = 0.618_033_988_749_895;
-        let mut x1 = b - phi * (b - a);
-        let mut x2 = a + phi * (b - a);
-        let mut f1 = f(x1)?;
-        let mut f2 = f(x2)?;
-        for _ in 0..10 {
-            if f1 < f2 {
-                b = x2;
-                x2 = x1;
-                f2 = f1;
-                x1 = b - phi * (b - a);
-                f1 = f(x1)?;
-            } else {
-                a = x1;
-                x1 = x2;
-                f1 = f2;
-                x2 = a + phi * (b - a);
-                f2 = f(x2)?;
+    let golden_min =
+        |f: &mut dyn FnMut(f64) -> Result<f64>, mut a: f64, mut b: f64| -> Result<f64> {
+            let phi = 0.618_033_988_749_895;
+            let mut x1 = b - phi * (b - a);
+            let mut x2 = a + phi * (b - a);
+            let mut f1 = f(x1)?;
+            let mut f2 = f(x2)?;
+            for _ in 0..10 {
+                if f1 < f2 {
+                    b = x2;
+                    x2 = x1;
+                    f2 = f1;
+                    x1 = b - phi * (b - a);
+                    f1 = f(x1)?;
+                } else {
+                    a = x1;
+                    x1 = x2;
+                    f1 = f2;
+                    x2 = a + phi * (b - a);
+                    f2 = f(x2)?;
+                }
             }
-        }
-        Ok(if f1 < f2 { x1 } else { x2 })
-    };
+            Ok(if f1 < f2 { x1 } else { x2 })
+        };
     let mut rth = rth_seed;
     let mut t_rise = golden_min(
         &mut |x| replay(rth, x).map(|r| r.0),
@@ -346,7 +353,8 @@ mod tests {
         // fixture starts its ramp at T_INPUT_ONSET.
         ckt.add_vsource("Vth", e, Circuit::gnd(), th.wave.shifted(T_INPUT_ONSET));
         ckt.add_resistor("Rth", e, o, th.rth).unwrap();
-        ckt.add_capacitor("Cl", o, Circuit::gnd(), 60.0 * FF).unwrap();
+        ckt.add_capacitor("Cl", o, Circuit::gnd(), 60.0 * FF)
+            .unwrap();
         let res = transient(&ckt, &TranParams::new(4e-9, 1e-12)).unwrap();
         let fit = res.node_waveform(o);
         // 50% crossings aligned within a couple ps.
@@ -362,9 +370,8 @@ mod tests {
     fn falling_transition_fits_too() {
         let t = Technology::cmos130();
         let cell = Cell::inv(t, 2.0);
-        let th =
-            characterize_thevenin(&cell, false, 80.0 * PS, &TheveninLoad::Lumped(30.0 * FF))
-                .unwrap();
+        let th = characterize_thevenin(&cell, false, 80.0 * PS, &TheveninLoad::Lumped(30.0 * FF))
+            .unwrap();
         assert!(!th.rising);
         match th.wave {
             SourceWaveform::Ramp { v0, v1, .. } => {
@@ -418,9 +425,8 @@ mod tests {
     fn shifted_moves_t50() {
         let t = Technology::cmos130();
         let cell = Cell::inv(t, 2.0);
-        let th =
-            characterize_thevenin(&cell, true, 50.0 * PS, &TheveninLoad::Lumped(20.0 * FF))
-                .unwrap();
+        let th = characterize_thevenin(&cell, true, 50.0 * PS, &TheveninLoad::Lumped(20.0 * FF))
+            .unwrap();
         let sh = th.shifted(100.0 * PS);
         assert!((sh.t50() - th.t50() - 100.0 * PS).abs() < 1e-15);
     }

@@ -42,8 +42,8 @@ pub mod prelude {
     pub use crate::cell::{Cell, CellPorts, CellType, DriverMode};
     pub use crate::characterize::{
         characterize_load_curve, characterize_propagated_noise, characterize_thevenin,
-        driver_fixture, driver_output_caps, holding_resistance, CharacterizeOptions,
-        DriverFixture, LoadCurve, PropagatedNoiseTable, TheveninDriver, TheveninLoad,
+        driver_fixture, driver_output_caps, holding_resistance, CharacterizeOptions, DriverFixture,
+        LoadCurve, PropagatedNoiseTable, TheveninDriver, TheveninLoad,
     };
     pub use crate::tech::{MetalLayer, Technology};
 }

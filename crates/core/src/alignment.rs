@@ -37,10 +37,7 @@ pub struct AlignmentResult {
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn worst_case_alignment(
-    model: &ClusterMacromodel,
-    window: f64,
-) -> Result<AlignmentResult> {
+pub fn worst_case_alignment(model: &ClusterMacromodel, window: f64) -> Result<AlignmentResult> {
     let n_agg = model.spec.aggressors.len();
     let mut switch_times: Vec<f64> = model
         .spec

@@ -25,7 +25,9 @@ use sna_cells::{Cell, DriverMode, Technology};
 use sna_interconnect::CoupledBus;
 
 use crate::library::NoiseModelLibrary;
-use sna_mor::{port_admittance_moments, prima_reduce, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0};
+use sna_mor::{
+    port_admittance_moments, prima_reduce, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
+};
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::Circuit;
@@ -268,7 +270,7 @@ impl ClusterMacromodel {
             }
         };
         let char_load = spec.victim_total_cap(load_curve.c_out);
-        let prop_table = match library.as_deref_mut() {
+        let prop_table = match library {
             Some(lib) => {
                 (*lib.propagated_table(&spec.victim.cell, &spec.victim.mode, char_load)?).clone()
             }
@@ -277,8 +279,10 @@ impl ClusterMacromodel {
                     .iter()
                     .map(|f| f * vdd)
                     .collect();
-                let widths: Vec<f64> =
-                    [150.0, 300.0, 600.0, 1200.0].iter().map(|w| w * PS).collect();
+                let widths: Vec<f64> = [150.0, 300.0, 600.0, 1200.0]
+                    .iter()
+                    .map(|w| w * PS)
+                    .collect();
                 characterize_propagated_noise(
                     &spec.victim.cell,
                     &spec.victim.mode,
@@ -347,18 +351,19 @@ impl ClusterMacromodel {
                 }
                 let neighbor = &spec.aggressors[other - 1];
                 if (neighbor.switch_time - agg.switch_time).abs() < SIMULTANEOUS_WINDOW {
-                    c.cc_per_m *= if neighbor.rising == agg.rising { 0.0 } else { 2.0 };
+                    c.cc_per_m *= if neighbor.rising == agg.rising {
+                        0.0
+                    } else {
+                        2.0
+                    };
                 }
             }
             let (net_k, wires_k) = build_net(&bus_k)?;
             let ports_k = driver_ports(&wires_k);
             let moments = port_admittance_moments(&net_k, &ports_k, 3)?;
             let p = k + 1; // driver-port index of aggressor k
-            let pi = PiModel::from_moments(
-                moments[0][(p, p)],
-                moments[1][(p, p)],
-                moments[2][(p, p)],
-            )?;
+            let pi =
+                PiModel::from_moments(moments[0][(p, p)], moments[1][(p, p)], moments[2][(p, p)])?;
             let load = TheveninLoad::Pi {
                 c_near: pi.c_near,
                 r: pi.r,
@@ -376,7 +381,12 @@ impl ClusterMacromodel {
         }
         ports.push(wires[0].far);
         port_roles.push(PortRole::VictimReceiver);
-        let reduced = prima_reduce(&net, &ports, options.reduction_order, options.expansion_point)?;
+        let reduced = prima_reduce(
+            &net,
+            &ports,
+            options.reduction_order,
+            options.expansion_point,
+        )?;
         // --- Victim input waveform.
         let q_in = spec.victim.mode.input_levels[spec.victim.mode.noisy_input];
         let q_out = spec.victim.mode.output_level;
@@ -457,11 +467,7 @@ impl ClusterMacromodel {
             "one switch time per aggressor"
         );
         let mut out = self.clone();
-        for (k, (&t_new, agg)) in switch_times
-            .iter()
-            .zip(&self.spec.aggressors)
-            .enumerate()
-        {
+        for (k, (&t_new, agg)) in switch_times.iter().zip(&self.spec.aggressors).enumerate() {
             out.thevenins[k] = self.thevenins[k].shifted(t_new - agg.switch_time);
             out.spec.aggressors[k].switch_time = t_new;
         }

@@ -110,8 +110,8 @@ pub fn simulate_macromodel_with(
     };
     let y_vic = |x: &[f64]| -> f64 {
         let mut acc = 0.0;
-        for i in 0..m {
-            acc += red.b[(i, vic)] * x[i];
+        for (i, &xi) in x.iter().enumerate().take(m) {
+            acc += red.b[(i, vic)] * xi;
         }
         acc
     };
@@ -198,11 +198,7 @@ pub fn simulate_macromodel_with(
     times.push(0.0);
     record(&x, &mut port_series);
     // Nonlinear current at the previous accepted point.
-    let mut f_prev = model
-        .load_curve
-        .table
-        .eval(model.vin(0.0), y_vic(&x))
-        .z;
+    let mut f_prev = model.load_curve.table.eval(model.vin(0.0), y_vic(&x)).z;
     for step in 1..=n_steps {
         let t = step as f64 * dt;
         let u = inject(t);
@@ -279,7 +275,10 @@ mod tests {
         assert!(res.dp.value_at(model.spec.t_stop).abs() < 0.03);
         // Aggressor DP ends at the rail.
         let agg_end = res.aggressor_dps[0].value_at(model.spec.t_stop);
-        assert!((agg_end - model.spec.tech.vdd).abs() < 0.03, "agg end {agg_end}");
+        assert!(
+            (agg_end - model.spec.tech.vdd).abs() < 0.03,
+            "agg end {agg_end}"
+        );
     }
 
     #[test]

@@ -22,9 +22,7 @@ use crate::engine::NoiseWaveforms;
 /// # Errors
 ///
 /// Propagates validation and element errors.
-pub fn build_golden_circuit(
-    spec: &ClusterSpec,
-) -> Result<(Circuit, NodeId, NodeId, Vec<NodeId>)> {
+pub fn build_golden_circuit(spec: &ClusterSpec) -> Result<(Circuit, NodeId, NodeId, Vec<NodeId>)> {
     spec.validate()?;
     let vdd_v = spec.tech.vdd;
     let mut ckt = Circuit::new();
@@ -77,7 +75,11 @@ pub fn build_golden_circuit(
             )?;
         }
         let input_rising = agg.rising ^ agg.cell.is_inverting();
-        let (v0, v1) = if input_rising { (0.0, vdd_v) } else { (vdd_v, 0.0) };
+        let (v0, v1) = if input_rising {
+            (0.0, vdd_v)
+        } else {
+            (vdd_v, 0.0)
+        };
         let inp = ckt.node(&format!("agg{k}_in"));
         ckt.add_vsource(
             &format!("Vagg{k}_in"),

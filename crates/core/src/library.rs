@@ -172,7 +172,10 @@ impl NoiseModelLibrary {
             .iter()
             .map(|f| f * vdd)
             .collect();
-        let widths: Vec<f64> = [150.0, 300.0, 600.0, 1200.0].iter().map(|w| w * PS).collect();
+        let widths: Vec<f64> = [150.0, 300.0, 600.0, 1200.0]
+            .iter()
+            .map(|w| w * PS)
+            .collect();
         let table = Arc::new(characterize_propagated_noise(
             cell,
             mode,

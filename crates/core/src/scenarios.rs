@@ -155,7 +155,11 @@ pub struct SweepCase {
 pub fn sweep_specs(quick: bool) -> Vec<SweepCase> {
     let mut cases = Vec::new();
     let techs = [Technology::cmos130(), Technology::cmos90()];
-    let lengths: &[f64] = if quick { &[500.0] } else { &[250.0, 500.0, 1000.0] };
+    let lengths: &[f64] = if quick {
+        &[500.0]
+    } else {
+        &[250.0, 500.0, 1000.0]
+    };
     let agg_counts: &[usize] = if quick { &[1] } else { &[1, 2, 3] };
     let victims: &[CellType] = if quick {
         &[CellType::Nand2]

@@ -177,7 +177,11 @@ impl NoiseReport {
 /// Propagates macromodel build / engine failures (a production flow would
 /// downgrade these to per-net diagnostics; here they abort so tests catch
 /// regressions).
-pub fn run_sna(design: &Design, nrc: &NoiseRejectionCurve, opts: &SnaOptions) -> Result<NoiseReport> {
+pub fn run_sna(
+    design: &Design,
+    nrc: &NoiseRejectionCurve,
+    opts: &SnaOptions,
+) -> Result<NoiseReport> {
     // One characterization library for the whole design: clusters sharing a
     // (cell, drive-state, load-bucket) reuse each other's artifacts.
     let mut library = crate::library::NoiseModelLibrary::new();

@@ -76,9 +76,8 @@ pub fn simulate_zolotov(
     }
     let _ = emf;
     let (times, series) = last;
-    let mk = |s: &[f64]| {
-        Waveform::from_samples(times.clone(), s.to_vec()).expect("monotone time axis")
-    };
+    let mk =
+        |s: &[f64]| Waveform::from_samples(times.clone(), s.to_vec()).expect("monotone time axis");
     Ok(NoiseWaveforms {
         dp: mk(&series[vic]),
         receiver: mk(&series[rcv]),
@@ -117,10 +116,7 @@ mod tests {
             zol.peak,
             sup.peak
         );
-        assert!(
-            (zol.peak - eng.peak).abs() >= -1e-12,
-            "sanity"
-        );
+        assert!((zol.peak - eng.peak).abs() >= -1e-12, "sanity");
     }
 
     #[test]

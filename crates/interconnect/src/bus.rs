@@ -81,7 +81,12 @@ impl CoupledBus {
 
     /// The classic two-wire test case of the paper: victim and one
     /// aggressor running fully parallel.
-    pub fn parallel_pair(victim: WireGeom, aggressor: WireGeom, cc_per_m: f64, segments: usize) -> Self {
+    pub fn parallel_pair(
+        victim: WireGeom,
+        aggressor: WireGeom,
+        cc_per_m: f64,
+        segments: usize,
+    ) -> Self {
         Self::new(
             vec![victim, aggressor],
             vec![CouplingGeom::full(0, 1, cc_per_m)],
@@ -181,14 +186,18 @@ mod tests {
     fn validation_errors() {
         assert!(CoupledBus::new(vec![], vec![], 4).is_err());
         assert!(CoupledBus::new(vec![m4_wire(500.0)], vec![], 0).is_err());
-        assert!(
-            CoupledBus::new(vec![m4_wire(500.0)], vec![CouplingGeom::full(0, 1, 90e-12)], 4)
-                .is_err()
-        );
-        assert!(
-            CoupledBus::new(vec![m4_wire(500.0)], vec![CouplingGeom::full(0, 0, 90e-12)], 4)
-                .is_err()
-        );
+        assert!(CoupledBus::new(
+            vec![m4_wire(500.0)],
+            vec![CouplingGeom::full(0, 1, 90e-12)],
+            4
+        )
+        .is_err());
+        assert!(CoupledBus::new(
+            vec![m4_wire(500.0)],
+            vec![CouplingGeom::full(0, 0, 90e-12)],
+            4
+        )
+        .is_err());
     }
 
     #[test]
@@ -211,7 +220,9 @@ mod tests {
                         r_total[1] += ohms;
                     }
                 }
-                Element::Capacitor { name, farads, a, b, .. } => {
+                Element::Capacitor {
+                    name, farads, a, b, ..
+                } => {
                     if name.contains(".cc") {
                         cc_total += farads;
                     } else {
@@ -266,7 +277,8 @@ mod tests {
                 t_rise: 100.0 * PS,
             },
         );
-        ckt.add_resistor("Rhold", nodes[0].near, Circuit::gnd(), 2e3).unwrap();
+        ckt.add_resistor("Rhold", nodes[0].near, Circuit::gnd(), 2e3)
+            .unwrap();
         let res = transient(&ckt, &TranParams::new(3.0 * NS, 2.0 * PS)).unwrap();
         let w = res.node_waveform(nodes[0].far);
         let m = w.glitch_metrics(0.0);
@@ -281,8 +293,7 @@ mod tests {
     fn segment_refinement_converges() {
         // Far-end victim glitch peak with 8 vs 64 segments differs by < 5%.
         let run = |segments: usize| -> f64 {
-            let bus =
-                CoupledBus::parallel_pair(m4_wire(500.0), m4_wire(500.0), 90e-12, segments);
+            let bus = CoupledBus::parallel_pair(m4_wire(500.0), m4_wire(500.0), 90e-12, segments);
             let mut ckt = Circuit::new();
             let nodes = bus.instantiate(&mut ckt, "net").unwrap();
             ckt.add_vsource(

@@ -165,7 +165,8 @@ mod tests {
                 },
             );
             ckt.add_resistor("Rdrv", src, agg_dp, 300.0).unwrap();
-            ckt.add_resistor("Rhold", vic_dp, Circuit::gnd(), 2e3).unwrap();
+            ckt.add_resistor("Rhold", vic_dp, Circuit::gnd(), 2e3)
+                .unwrap();
         };
         let (mut full, nets, _) = paper_bus(25);
         build_drive(&mut full, nets[1].near, nets[0].near);

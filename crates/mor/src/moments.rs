@@ -49,7 +49,8 @@ pub fn port_admittance_moments(
     for e in ckt.elements() {
         if matches!(
             e,
-            sna_spice::netlist::Element::VSource { .. } | sna_spice::netlist::Element::ISource { .. }
+            sna_spice::netlist::Element::VSource { .. }
+                | sna_spice::netlist::Element::ISource { .. }
         ) {
             return Err(Error::InvalidAnalysis(
                 "moment computation requires a source-free network".into(),
@@ -57,7 +58,12 @@ pub fn port_admittance_moments(
         }
     }
     for (i, &p) in ports.iter().enumerate() {
-        ckt.add_vsource(&format!("__port{i}"), p, Circuit::gnd(), SourceWaveform::Dc(0.0));
+        ckt.add_vsource(
+            &format!("__port{i}"),
+            p,
+            Circuit::gnd(),
+            SourceWaveform::Dc(0.0),
+        );
     }
     let mna = MnaSystem::new(&ckt)?;
     let dim = mna.dim();
@@ -70,7 +76,7 @@ pub fn port_admittance_moments(
         let mut b = vec![0.0; dim];
         b[n_nodes + j] = 1.0;
         let mut x = lu.solve(&b);
-        for k in 0..n_moments {
+        for m_k in moments.iter_mut() {
             // x_{k+1} = G^{-1} (-C x_k)
             let cx = mna.c_matrix().mul_vec(&x);
             let rhs: Vec<f64> = cx.iter().map(|v| -v).collect();
@@ -79,7 +85,7 @@ pub fn port_admittance_moments(
                 // Branch current convention: positive flows from the +
                 // terminal through the source; admittance draws the
                 // opposite sign.
-                moments[k][(i, j)] = -x[n_nodes + i];
+                m_k[(i, j)] = -x[n_nodes + i];
             }
         }
     }

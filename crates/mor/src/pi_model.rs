@@ -38,7 +38,7 @@ impl PiModel {
     ///
     /// Fails when `y1` (the total capacitance) is not positive.
     pub fn from_moments(y1: f64, y2: f64, y3: f64) -> Result<Self> {
-        if !(y1 > 0.0) {
+        if y1.is_nan() || y1 <= 0.0 {
             return Err(Error::InvalidAnalysis(format!(
                 "pi fit needs positive first moment, got {y1}"
             )));

@@ -48,8 +48,8 @@ impl ReducedSystem {
         let mut y = vec![0.0; self.n_ports()];
         for (p, yp) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for i in 0..self.dim() {
-                acc += self.b[(i, p)] * x[i];
+            for (i, &xi) in x.iter().enumerate() {
+                acc += self.b[(i, p)] * xi;
             }
             *yp = acc;
         }
@@ -100,12 +100,12 @@ impl ReducedSystem {
             let t = k as f64 * dt;
             let u = inject(t);
             let mut rhs = rhs_mat.mul_vec(&x);
-            for i in 0..m {
+            for (i, ri) in rhs.iter_mut().enumerate().take(m) {
                 let mut acc = 0.0;
                 for (p, (up, upr)) in u.iter().zip(&u_prev).enumerate() {
                     acc += self.b[(i, p)] * (up + upr);
                 }
-                rhs[i] += acc;
+                *ri += acc;
             }
             x = lu.solve(&rhs);
             times.push(t);
@@ -140,8 +140,10 @@ pub fn prima_reduce(
             "prima requires a linear RC network".into(),
         ));
     }
-    if !(s0 > 0.0) {
-        return Err(Error::InvalidAnalysis("prima expansion point must be > 0".into()));
+    if s0.is_nan() || s0 <= 0.0 {
+        return Err(Error::InvalidAnalysis(
+            "prima expansion point must be > 0".into(),
+        ));
     }
     let mna = MnaSystem::new(circuit)?;
     if !mna.vsources().is_empty() {
@@ -215,7 +217,9 @@ pub fn prima_reduce(
     }
     let m = basis.len();
     if m == 0 {
-        return Err(Error::InvalidAnalysis("prima produced an empty basis".into()));
+        return Err(Error::InvalidAnalysis(
+            "prima produced an empty basis".into(),
+        ));
     }
     // Congruence projection.
     let project = |mat: &DenseMatrix| -> DenseMatrix {
@@ -312,7 +316,8 @@ mod tests {
             },
         );
         full.add_resistor("Rdrv", src, nets[1].near, rdrv).unwrap();
-        full.add_resistor("Rhold", nets[0].near, Circuit::gnd(), rhold).unwrap();
+        full.add_resistor("Rhold", nets[0].near, Circuit::gnd(), rhold)
+            .unwrap();
         let p = TranParams::new(3.0 * NS, 2.0 * PS);
         let res = transient(&full, &p).unwrap();
         let w_vic_full = res.node_waveform(nets[0].near);
@@ -360,11 +365,9 @@ mod tests {
             ys.iter().map(|y| y[0]).collect(),
         )
         .unwrap();
-        let far_red = sna_spice::waveform::Waveform::from_samples(
-            times,
-            ys.iter().map(|y| y[2]).collect(),
-        )
-        .unwrap();
+        let far_red =
+            sna_spice::waveform::Waveform::from_samples(times, ys.iter().map(|y| y[2]).collect())
+                .unwrap();
         let m_full = w_vic_full.glitch_metrics(0.0);
         let m_red = vic_red.glitch_metrics(0.0);
         let peak_err = (m_red.peak - m_full.peak).abs() / m_full.peak;
@@ -428,4 +431,3 @@ mod tests {
         assert!(red.simulate_linear(|_| vec![0.0], 1.0, 0.5).is_err());
     }
 }
-

@@ -79,6 +79,7 @@ impl DcSolution {
 
 /// Solve one Newton problem: `(G + extra_gmin·I)x + f(x) = b`, warm-started
 /// at `x0`. Returns `(x, iterations)`.
+#[allow(clippy::too_many_arguments)] // internal solver: explicit state beats a bag struct
 fn newton_solve(
     circuit: &Circuit,
     mna: &MnaSystem,
@@ -270,11 +271,7 @@ pub fn dc_sweep(
 /// # Errors
 ///
 /// Propagates DC convergence failures.
-pub fn dc_input_conductance(
-    circuit: &Circuit,
-    node: NodeId,
-    opts: &NewtonOptions,
-) -> Result<f64> {
+pub fn dc_input_conductance(circuit: &Circuit, node: NodeId, opts: &NewtonOptions) -> Result<f64> {
     let base = dc_operating_point(circuit, opts, None)?;
     let v0 = base.voltage(node);
     // Inject a small probe current and measure the voltage shift.
@@ -367,8 +364,17 @@ mod tests {
         let vddn = ckt.node("vdd");
         ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(vdd));
         ckt.add_vsource("Vin", vin, Circuit::gnd(), SourceWaveform::Dc(0.0));
-        ckt.add_mosfet("Mn", vout, vin, Circuit::gnd(), Circuit::gnd(), nmos(), 0.42e-6, 0.13e-6)
-            .unwrap();
+        ckt.add_mosfet(
+            "Mn",
+            vout,
+            vin,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            nmos(),
+            0.42e-6,
+            0.13e-6,
+        )
+        .unwrap();
         ckt.add_mosfet("Mp", vout, vin, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
             .unwrap();
         let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
@@ -392,8 +398,17 @@ mod tests {
         let vddn = ckt.node("vdd");
         ckt.add_vsource("Vdd", vddn, Circuit::gnd(), SourceWaveform::Dc(vdd));
         ckt.add_vsource("Vin", vin, Circuit::gnd(), SourceWaveform::Dc(0.0));
-        ckt.add_mosfet("Mn", vout, vin, Circuit::gnd(), Circuit::gnd(), nmos(), 0.42e-6, 0.13e-6)
-            .unwrap();
+        ckt.add_mosfet(
+            "Mn",
+            vout,
+            vin,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            nmos(),
+            0.42e-6,
+            0.13e-6,
+        )
+        .unwrap();
         ckt.add_mosfet("Mp", vout, vin, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
             .unwrap();
         let values: Vec<f64> = (0..=24).map(|i| vdd * i as f64 / 24.0).collect();
@@ -422,8 +437,17 @@ mod tests {
         // NMOS stack.
         ckt.add_mosfet("Mn1", out, a, mid, Circuit::gnd(), nmos(), 0.6e-6, 0.13e-6)
             .unwrap();
-        ckt.add_mosfet("Mn2", mid, b, Circuit::gnd(), Circuit::gnd(), nmos(), 0.6e-6, 0.13e-6)
-            .unwrap();
+        ckt.add_mosfet(
+            "Mn2",
+            mid,
+            b,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            nmos(),
+            0.6e-6,
+            0.13e-6,
+        )
+        .unwrap();
         // Parallel PMOS.
         ckt.add_mosfet("Mp1", out, a, vddn, vddn, pmos(), 0.64e-6, 0.13e-6)
             .unwrap();
@@ -467,7 +491,11 @@ mod tests {
         ckt.add_isource("I1", Circuit::gnd(), out, SourceWaveform::Dc(1e-6));
         ckt.add_table_vccs("Gnl", out, Circuit::gnd(), inp, t);
         let sol = dc_operating_point(&ckt, &NewtonOptions::default(), None).unwrap();
-        assert!((sol.voltage(out) - 1e-3).abs() < 1e-7, "v={}", sol.voltage(out));
+        assert!(
+            (sol.voltage(out) - 1e-3).abs() < 1e-7,
+            "v={}",
+            sol.voltage(out)
+        );
     }
 
     #[test]

@@ -131,7 +131,15 @@ impl MosfetModel {
     /// source terminal) along with derivatives w.r.t. the four terminal
     /// voltages, handling PMOS polarity and drain/source inversion
     /// internally.
-    pub fn eval_terminal(&self, vd: f64, vg: f64, vs: f64, vb: f64, w: f64, l: f64) -> TerminalEval {
+    pub fn eval_terminal(
+        &self,
+        vd: f64,
+        vg: f64,
+        vs: f64,
+        vb: f64,
+        w: f64,
+        l: f64,
+    ) -> TerminalEval {
         let w_over_l = w / l;
         // Polarity transform: PMOS evaluates as NMOS on negated voltages;
         // currents negate back, derivatives are unchanged (sign² = 1).
@@ -160,7 +168,11 @@ impl MosfetModel {
         // td/ts map to (ud, us) or (us, ud) depending on swap; u = sign*v so
         // d/dv = sign * d/du, and overall current picked up another `sign`,
         // so the conductances are polarity-invariant.
-        let (d_dud, d_dus) = if swapped { (d_dts, d_dtd) } else { (d_dtd, d_dts) };
+        let (d_dud, d_dus) = if swapped {
+            (d_dts, d_dtd)
+        } else {
+            (d_dtd, d_dts)
+        };
         TerminalEval {
             id,
             gd: d_dud,
@@ -246,7 +258,12 @@ mod tests {
         let e = m.eval_terminal(1.2, 1.2, 0.0, 0.0, w, l);
         let vov = 1.2 - 0.32;
         let want = 0.5 * m.kp * (w / l) * vov * vov * (1.0 + m.lambda * 1.2);
-        assert!((e.id - want).abs() / want < 0.02, "id={} want={}", e.id, want);
+        assert!(
+            (e.id - want).abs() / want < 0.02,
+            "id={} want={}",
+            e.id,
+            want
+        );
     }
 
     #[test]

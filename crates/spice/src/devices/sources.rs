@@ -151,7 +151,9 @@ impl SourceWaveform {
     pub fn last_event_time(&self) -> f64 {
         match self {
             SourceWaveform::Dc(_) => 0.0,
-            SourceWaveform::Ramp { t_start, t_rise, .. } => t_start + t_rise,
+            SourceWaveform::Ramp {
+                t_start, t_rise, ..
+            } => t_start + t_rise,
             SourceWaveform::Pulse {
                 t_delay,
                 t_rise,

@@ -201,11 +201,9 @@ mod tests {
     fn bilinear_exact() -> Table2d {
         // z = 3 + 2x - y + 0.5xy sampled on a grid; bilinear interpolation
         // reproduces any such function exactly.
-        Table2d::from_fn(
-            linspace(-1.0, 1.0, 5),
-            linspace(0.0, 2.0, 4),
-            |x, y| 3.0 + 2.0 * x - y + 0.5 * x * y,
-        )
+        Table2d::from_fn(linspace(-1.0, 1.0, 5), linspace(0.0, 2.0, 4), |x, y| {
+            3.0 + 2.0 * x - y + 0.5 * x * y
+        })
         .unwrap()
     }
 

@@ -89,13 +89,13 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_cols);
         let mut y = vec![0.0; self.n_rows];
-        for i in 0..self.n_rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -261,16 +261,16 @@ impl LuFactors {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -310,11 +310,7 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let xs = [1.5, -0.25, 3.0];
         let b = a.mul_vec(&xs);
         let x = a.solve(&b).unwrap();

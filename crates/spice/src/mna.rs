@@ -241,7 +241,14 @@ impl MnaSystem {
         for id in &self.nonlinear {
             match circuit.element(*id) {
                 Element::Mosfet {
-                    d, g, s, b, model, w, l, ..
+                    d,
+                    g,
+                    s,
+                    b,
+                    model,
+                    w,
+                    l,
+                    ..
                 } => {
                     let vd = self.voltage(x, *d);
                     let vg = self.voltage(x, *g);
@@ -290,11 +297,7 @@ impl MnaSystem {
                         residual[i] -= e.z;
                     }
                     if let Some(j) = jac.as_deref_mut() {
-                        let terms = [
-                            (*ctrl, e.dz_dx),
-                            (*out_p, e.dz_dy),
-                            (*out_n, -e.dz_dy),
-                        ];
+                        let terms = [(*ctrl, e.dz_dx), (*out_p, e.dz_dy), (*out_n, -e.dz_dy)];
                         if let Some(i) = self.node_unknown(*out_p) {
                             for (n, gv) in terms {
                                 if let Some(jn) = self.node_unknown(n) {

@@ -276,7 +276,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite resistance.
-    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId> {
         if !(ohms.is_finite() && ohms > 0.0) {
             return Err(Error::InvalidCircuit(format!(
                 "resistor {name}: resistance must be positive and finite, got {ohms}"
@@ -395,6 +401,7 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive geometry.
+    #[allow(clippy::too_many_arguments)] // mirrors the SPICE M-card: d g s b model w l
     pub fn add_mosfet(
         &mut self,
         name: &str,
@@ -573,8 +580,17 @@ mod tests {
             cgdo: 3e-10,
             cj: 8e-10,
         };
-        c.add_mosfet("M1", d, g, Circuit::gnd(), Circuit::gnd(), model, 1e-6, 0.13e-6)
-            .unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            model,
+            1e-6,
+            0.13e-6,
+        )
+        .unwrap();
         // 1 mosfet + 5 caps
         assert_eq!(c.element_count(), 6);
         assert!(c.find_element("M1.cgd").is_some());

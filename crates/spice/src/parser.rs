@@ -106,9 +106,7 @@ fn parse_source(toks: &[String], line: usize) -> Result<SourceWaveform> {
     let kw = toks[0].to_ascii_uppercase();
     match kw.as_str() {
         "DC" => {
-            let v = toks
-                .get(1)
-                .ok_or_else(|| err(line, "DC needs a value"))?;
+            let v = toks.get(1).ok_or_else(|| err(line, "DC needs a value"))?;
             Ok(SourceWaveform::Dc(num(v, line)?))
         }
         "PWL" => {
@@ -118,7 +116,7 @@ fn parse_source(toks: &[String], line: usize) -> Result<SourceWaveform> {
                 .filter(|t| *t != "(" && *t != ")")
                 .map(|t| num(t, line))
                 .collect::<Result<_>>()?;
-            if nums.len() < 4 || nums.len() % 2 != 0 {
+            if nums.len() < 4 || !nums.len().is_multiple_of(2) {
                 return Err(err(line, "PWL needs an even number (>= 4) of values"));
             }
             let pts: Vec<(f64, f64)> = nums.chunks(2).map(|c| (c[0], c[1])).collect();
@@ -199,7 +197,7 @@ pub fn parse_deck(deck: &str) -> Result<ParsedDeck> {
         if toks.is_empty() {
             continue;
         }
-        if toks[0].to_ascii_lowercase() == ".model" {
+        if toks[0].eq_ignore_ascii_case(".model") {
             let name = toks
                 .get(1)
                 .ok_or_else(|| err(*lineno, ".model needs a name"))?
@@ -266,11 +264,13 @@ pub fn parse_deck(deck: &str) -> Result<ParsedDeck> {
                     ".end" | ".ends" => break,
                     ".tran" => {
                         let step = num(
-                            toks.get(1).ok_or_else(|| err(*lineno, ".tran needs step"))?,
+                            toks.get(1)
+                                .ok_or_else(|| err(*lineno, ".tran needs step"))?,
                             *lineno,
                         )?;
                         let stop = num(
-                            toks.get(2).ok_or_else(|| err(*lineno, ".tran needs stop"))?,
+                            toks.get(2)
+                                .ok_or_else(|| err(*lineno, ".tran needs stop"))?,
                             *lineno,
                         )?;
                         tran = Some(TranParams::new(stop, step));
@@ -280,9 +280,18 @@ pub fn parse_deck(deck: &str) -> Result<ParsedDeck> {
                             .get(1)
                             .ok_or_else(|| err(*lineno, ".dc needs a source"))?
                             .clone();
-                        let a = num(toks.get(2).ok_or_else(|| err(*lineno, ".dc start"))?, *lineno)?;
-                        let b = num(toks.get(3).ok_or_else(|| err(*lineno, ".dc stop"))?, *lineno)?;
-                        let s = num(toks.get(4).ok_or_else(|| err(*lineno, ".dc step"))?, *lineno)?;
+                        let a = num(
+                            toks.get(2).ok_or_else(|| err(*lineno, ".dc start"))?,
+                            *lineno,
+                        )?;
+                        let b = num(
+                            toks.get(3).ok_or_else(|| err(*lineno, ".dc stop"))?,
+                            *lineno,
+                        )?;
+                        let s = num(
+                            toks.get(4).ok_or_else(|| err(*lineno, ".dc step"))?,
+                            *lineno,
+                        )?;
                         dc_sweeps.push((src, a, b, s));
                     }
                     _ => {} // ignore unknown dot-cards (.probe, .option, ...)
@@ -510,7 +519,7 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
     let is_device_cap = |name: &str| -> bool {
         for suffix in [".cgs", ".cgd", ".cgb", ".cdb", ".csb"] {
             if let Some(base) = name.strip_suffix(suffix) {
-                if mosfet_names.iter().any(|m| *m == base) {
+                if mosfet_names.contains(&base) {
                     return true;
                 }
             }
@@ -538,7 +547,12 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
                     nn(*b)
                 ));
             }
-            Element::VSource { name, pos, neg, wave } => {
+            Element::VSource {
+                name,
+                pos,
+                neg,
+                wave,
+            } => {
                 out.push_str(&format!(
                     "{} {} {} {}\n",
                     tagged('V', name),
@@ -547,7 +561,12 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
                     fmt_wave(wave)
                 ));
             }
-            Element::ISource { name, pos, neg, wave } => {
+            Element::ISource {
+                name,
+                pos,
+                neg,
+                wave,
+            } => {
                 out.push_str(&format!(
                     "{} {} {} {}\n",
                     tagged('I', name),
@@ -590,7 +609,14 @@ pub fn write_deck(circuit: &Circuit, title: &str) -> String {
                 ));
             }
             Element::Mosfet {
-                name, d, g, s, b, model, w, l,
+                name,
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
             } => {
                 let mname = &model_names
                     .iter()

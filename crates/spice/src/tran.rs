@@ -137,7 +137,13 @@ impl TranResult {
 /// Fails on invalid parameters, DC initialization failure, Newton
 /// non-convergence at some time step, or a singular system matrix.
 pub fn transient(circuit: &Circuit, params: &TranParams) -> Result<TranResult> {
-    if !(params.dt > 0.0) || !(params.t_stop > 0.0) || params.t_stop < params.dt {
+    // `is_nan()` checks keep the rejection of NaN parameters explicit.
+    if params.dt.is_nan()
+        || params.dt <= 0.0
+        || params.t_stop.is_nan()
+        || params.t_stop <= 0.0
+        || params.t_stop < params.dt
+    {
         return Err(Error::InvalidAnalysis(format!(
             "bad transient window: t_stop={}, dt={}",
             params.t_stop, params.dt
@@ -324,6 +330,7 @@ impl AdaptiveOptions {
 
 /// One backward-Euler step of size `h` from `(t0, x0)`, with an optional
 /// factorization cache for linear circuits (keyed by the step size).
+#[allow(clippy::too_many_arguments)] // internal stepper: explicit state beats a bag struct
 fn be_step(
     circuit: &Circuit,
     mna: &MnaSystem,
@@ -344,11 +351,11 @@ fn be_step(
         // Linear: (G + C/h) x1 = rhs with a per-h cached factorization.
         if let Some(cache) = lu_cache {
             let key = h.to_bits();
-            if !cache.contains_key(&key) {
+            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(key) {
                 let mut geff = DenseMatrix::zeros(dim, dim);
                 geff.axpy(1.0, mna.g_matrix());
                 geff.axpy(alpha, mna.c_matrix());
-                cache.insert(key, geff.lu()?);
+                e.insert(geff.lu()?);
             }
             return Ok(cache[&key].solve(&rhs));
         }
@@ -413,11 +420,17 @@ fn be_step(
 /// Fails on invalid options, DC-init failure, Newton non-convergence at the
 /// minimum step, or singular matrices.
 pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<TranResult> {
-    if !(opts.dt_init > 0.0)
-        || !(opts.dt_min > 0.0)
+    // `is_nan()` checks keep the rejection of NaN options explicit.
+    if opts.dt_init.is_nan()
+        || opts.dt_init <= 0.0
+        || opts.dt_min.is_nan()
+        || opts.dt_min <= 0.0
+        || opts.dt_max.is_nan()
         || opts.dt_max < opts.dt_min
-        || !(opts.t_stop > opts.dt_min)
-        || !(opts.ltol > 0.0)
+        || opts.t_stop.is_nan()
+        || opts.t_stop <= opts.dt_min
+        || opts.ltol.is_nan()
+        || opts.ltol <= 0.0
     {
         return Err(Error::InvalidAnalysis(format!(
             "bad adaptive window: t_stop={}, dt_init={}, dt_min={}, dt_max={}, ltol={}",
@@ -439,15 +452,23 @@ pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<T
     let mut times = vec![0.0];
     let mut traces: Vec<Vec<f64>> = (0..n_nodes).map(|n| vec![x[n]]).collect();
     let n_vsrc = mna.vsources().len();
-    let mut branch_currents: Vec<Vec<f64>> =
-        (0..n_vsrc).map(|s| vec![x[n_nodes + s]]).collect();
+    let mut branch_currents: Vec<Vec<f64>> = (0..n_vsrc).map(|s| vec![x[n_nodes + s]]).collect();
     let mut t = 0.0;
     let mut h = opts.dt_init.clamp(opts.dt_min, opts.dt_max);
     let mut total_newton = 0usize;
     while t < opts.t_stop - 1e-21 {
         h = h.min(opts.t_stop - t).max(opts.dt_min);
         let cache = if linear { Some(&mut lu_cache) } else { None };
-        let x_full = be_step(circuit, &mna, &x, t, h, &opts.newton, cache, &mut total_newton)?;
+        let x_full = be_step(
+            circuit,
+            &mna,
+            &x,
+            t,
+            h,
+            &opts.newton,
+            cache,
+            &mut total_newton,
+        )?;
         let cache = if linear { Some(&mut lu_cache) } else { None };
         let x_mid = be_step(
             circuit,
@@ -612,8 +633,10 @@ mod tests {
             },
         );
         ckt.add_capacitor("Cc", agg, vic, 40e-15).unwrap();
-        ckt.add_capacitor("Cg", vic, Circuit::gnd(), 30e-15).unwrap();
-        ckt.add_resistor("Rhold", vic, Circuit::gnd(), 2000.0).unwrap();
+        ckt.add_capacitor("Cg", vic, Circuit::gnd(), 30e-15)
+            .unwrap();
+        ckt.add_resistor("Rhold", vic, Circuit::gnd(), 2000.0)
+            .unwrap();
         let p = TranParams::new(4.0 * NS, 2.0 * PS);
         let res = transient(&ckt, &p).unwrap();
         let w = res.node_waveform(vic);
@@ -738,11 +761,21 @@ mod tests {
                 t_fall: 150.0 * PS,
             },
         );
-        ckt.add_mosfet("Mn", out, inp, Circuit::gnd(), Circuit::gnd(), nmos, 0.42e-6, 0.13e-6)
-            .unwrap();
+        ckt.add_mosfet(
+            "Mn",
+            out,
+            inp,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            nmos,
+            0.42e-6,
+            0.13e-6,
+        )
+        .unwrap();
         ckt.add_mosfet("Mp", out, inp, vdd, vdd, pmos, 0.64e-6, 0.13e-6)
             .unwrap();
-        ckt.add_capacitor("Cl", out, Circuit::gnd(), 10e-15).unwrap();
+        ckt.add_capacitor("Cl", out, Circuit::gnd(), 10e-15)
+            .unwrap();
         let opts = AdaptiveOptions::new(2.0 * NS);
         let res = transient_adaptive(&ckt, &opts).unwrap();
         let fixed = transient(&ckt, &TranParams::new(2.0 * NS, 1.0 * PS)).unwrap();

@@ -84,7 +84,7 @@ impl Waveform {
     /// Append a sample. Panics in debug builds if `t` does not advance time.
     pub fn push(&mut self, t: f64, v: f64) {
         debug_assert!(
-            self.times.last().map_or(true, |&last| t > last),
+            self.times.last().is_none_or(|&last| t > last),
             "waveform push must advance time"
         );
         self.times.push(t);
@@ -143,8 +143,11 @@ impl Waveform {
 
     /// Maximum sample value. Returns 0 for an empty waveform.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
-            - if self.values.is_empty() { 0.0 } else { 0.0 }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Minimum sample value. Returns 0 for an empty waveform.
@@ -164,9 +167,12 @@ impl Waveform {
         let t0 = self.t_start();
         let t1 = self.t_end();
         let n = ((t1 - t0) / dt).ceil() as usize + 1;
-        Self::sample(t0, t0 + (n - 1) as f64 * dt.max(f64::MIN_POSITIVE), n.max(2), |t| {
-            self.value_at(t)
-        })
+        Self::sample(
+            t0,
+            t0 + (n - 1) as f64 * dt.max(f64::MIN_POSITIVE),
+            n.max(2),
+            |t| self.value_at(t),
+        )
     }
 
     /// Shift the waveform in time by `delta` (positive = later).
@@ -217,7 +223,7 @@ impl Waveform {
             if tb == t {
                 j += 1;
             }
-            if grid.last().map_or(true, |&g| t > g) {
+            if grid.last().is_none_or(|&g| t > g) {
                 grid.push(t);
             }
         }
@@ -269,9 +275,7 @@ impl Waveform {
     /// union of both grids. Useful for waveform-level accuracy checks.
     pub fn max_abs_difference(&self, other: &Waveform) -> f64 {
         let diff = self.sub(other);
-        diff.values
-            .iter()
-            .fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+        diff.values.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()))
     }
 
     /// Serialize as two-column CSV (`time,value` header included), the
@@ -528,11 +532,7 @@ mod tests {
     #[test]
     fn width_of_plateau_glitch() {
         // Flat-top glitch: up at 1, flat to 3, down at 4. Peak 1, 50% thr 0.5.
-        let w = Waveform::from_samples(
-            vec![0.0, 1.0, 3.0, 4.0],
-            vec![0.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let w = Waveform::from_samples(vec![0.0, 1.0, 3.0, 4.0], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let m = w.glitch_metrics(0.0);
         // crossings at t=0.5 and t=3.5 -> width 3.0
         assert!((m.width - 3.0).abs() < 1e-12);
@@ -540,11 +540,9 @@ mod tests {
 
     #[test]
     fn width_multi_lobe_accumulates() {
-        let w = Waveform::from_samples(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 0.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let w =
+            Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 0.0, 1.0, 0.0])
+                .unwrap();
         let m = w.glitch_metrics(0.0);
         // Two triangles, each contributing width 1.0 at half height.
         assert!((m.width - 2.0).abs() < 1e-12);
@@ -609,11 +607,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let w = Waveform::from_samples(
-            vec![0.0, 1e-12, 2.5e-12],
-            vec![0.0, 0.6321, 1.2],
-        )
-        .unwrap();
+        let w = Waveform::from_samples(vec![0.0, 1e-12, 2.5e-12], vec![0.0, 0.6321, 1.2]).unwrap();
         let csv = w.to_csv();
         assert!(csv.starts_with("time,value\n"));
         let back = Waveform::from_csv(&csv).unwrap();

@@ -19,7 +19,8 @@ fn build_circuit(res: &[f64], caps: &[(usize, f64)], v: f64) -> Circuit {
         prev = next;
     }
     // Terminate to ground so every node has a DC level.
-    ckt.add_resistor("Rterm", prev, Circuit::gnd(), 1e4).unwrap();
+    ckt.add_resistor("Rterm", prev, Circuit::gnd(), 1e4)
+        .unwrap();
     for (k, &(node, c)) in caps.iter().enumerate() {
         let n = ckt.node(&format!("n{}", node % (res.len() + 1)));
         ckt.add_capacitor(&format!("C{k}"), n, Circuit::gnd(), c)

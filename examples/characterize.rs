@@ -100,11 +100,7 @@ fn main() -> sna::spice::Result<()> {
     }
 
     // --- Receiver NRC.
-    let nrc = characterize_nrc(
-        &Cell::inv(tech, 1.0),
-        true,
-        &[100e-12, 300e-12, 900e-12],
-    )?;
+    let nrc = characterize_nrc(&Cell::inv(tech, 1.0), true, &[100e-12, 300e-12, 900e-12])?;
     println!("\nreceiver NRC (INV x1):");
     for (w, h) in nrc.widths.iter().zip(&nrc.fail_heights) {
         println!("  {:>5.0} ps wide glitches fail above {:.3} V", w * 1e12, h);

@@ -36,17 +36,28 @@ fn main() -> sna::spice::Result<()> {
     }
 
     println!("\n== victim DP noise vs aggressor drive strength (500 um) ==");
-    println!("{:>10} {:>14} {:>14}", "strength", "engine pk (V)", "area (V*ps)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "strength", "engine pk (V)", "area (V*ps)"
+    );
     for strength in [1.0, 2.0, 4.0, 8.0] {
         let mut spec = base.clone();
         spec.aggressors[0].cell = Cell::inv(spec.tech.clone(), strength);
         let model = ClusterMacromodel::build(&spec)?;
         let m = simulate_macromodel(&model)?.dp_metrics(model.q_out);
-        println!("{:>10.1} {:>14.3} {:>14.1}", strength, m.peak, m.area * 1e12);
+        println!(
+            "{:>10.1} {:>14.3} {:>14.1}",
+            strength,
+            m.peak,
+            m.area * 1e12
+        );
     }
 
     println!("\n== victim DP noise vs aggressor count (in-phase, 500 um) ==");
-    println!("{:>10} {:>14} {:>14}", "count", "engine pk (V)", "area (V*ps)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "count", "engine pk (V)", "area (V*ps)"
+    );
     for n_agg in [1usize, 2, 3] {
         let mut spec = base.clone();
         spec.bus = m4_bus(&spec.tech, n_agg + 1, 500.0, 16);

@@ -21,8 +21,7 @@ fn geometry_to_reduction_conserves_capacitance() {
     let want_coupling = m4.cc_per_m * 500e-6;
     // Diagonal = ground + coupling; off-diagonal = -coupling.
     assert!(
-        (m[0][(0, 0)] - (want_ground + want_coupling)).abs() / (want_ground + want_coupling)
-            < 1e-6
+        (m[0][(0, 0)] - (want_ground + want_coupling)).abs() / (want_ground + want_coupling) < 1e-6
     );
     assert!((m[0][(0, 1)] + want_coupling).abs() / want_coupling < 1e-6);
 }
@@ -40,8 +39,7 @@ fn golden_cluster_deck_roundtrip() {
     // Same DC operating point at the victim driving point.
     let opts = sna::spice::dc::NewtonOptions::default();
     let s1 = sna::spice::dc::dc_operating_point(&ckt, &opts, None).expect("dc original");
-    let s2 =
-        sna::spice::dc::dc_operating_point(&parsed.circuit, &opts, None).expect("dc reparsed");
+    let s2 = sna::spice::dc::dc_operating_point(&parsed.circuit, &opts, None).expect("dc reparsed");
     let dp2 = parsed
         .circuit
         .find_node(ckt.node_name(vic_dp))
@@ -56,8 +54,8 @@ fn load_curve_agrees_with_small_signal_probe() {
     let tech = Technology::cmos130();
     let cell = Cell::nand2(tech.clone(), 1.0);
     let mode = cell.holding_low_mode();
-    let lc = characterize_load_curve(&cell, &mode, &CharacterizeOptions::default())
-        .expect("load curve");
+    let lc =
+        characterize_load_curve(&cell, &mode, &CharacterizeOptions::default()).expect("load curve");
     let r_probe =
         holding_resistance(&cell, &mode, &Default::default()).expect("holding resistance");
     let g_table = lc.conductance(tech.vdd, 0.0);
@@ -98,7 +96,13 @@ fn receiver_tap_is_filtered_dp() {
     let res = simulate_macromodel(&model).expect("engine");
     let dp = res.dp.glitch_metrics(model.q_out);
     let rc = res.receiver.glitch_metrics(model.q_out);
-    assert!(rc.peak <= dp.peak * 1.25 + 0.02, "receiver amplified the glitch");
+    assert!(
+        rc.peak <= dp.peak * 1.25 + 0.02,
+        "receiver amplified the glitch"
+    );
     assert!(rc.peak >= dp.peak * 0.5, "receiver lost the glitch");
-    assert!(rc.peak_time + 1e-12 >= dp.peak_time - 50e-12, "receiver peak before DP peak");
+    assert!(
+        rc.peak_time + 1e-12 >= dp.peak_time - 50e-12,
+        "receiver peak before DP peak"
+    );
 }

@@ -104,7 +104,13 @@ fn two_aggressors_are_worse_than_one() {
     quick(&mut s2);
     let m1 = ClusterMacromodel::build(&s1).expect("t1");
     let m2 = ClusterMacromodel::build(&s2).expect("t2");
-    let p1 = simulate_macromodel(&m1).expect("t1").dp_metrics(m1.q_out).peak;
-    let p2 = simulate_macromodel(&m2).expect("t2").dp_metrics(m2.q_out).peak;
+    let p1 = simulate_macromodel(&m1)
+        .expect("t1")
+        .dp_metrics(m1.q_out)
+        .peak;
+    let p2 = simulate_macromodel(&m2)
+        .expect("t2")
+        .dp_metrics(m2.q_out)
+        .peak;
     assert!(p2 > p1 + 0.05, "t1={p1:.3} t2={p2:.3}");
 }

@@ -1,0 +1,83 @@
+//! Workspace-wiring smoke tests.
+//!
+//! Each test mirrors the core path of one of the four `examples/`, so a
+//! manifest regression (a dropped crate dependency, a broken re-export in
+//! the `sna` facade, a renamed prelude item) is caught by `cargo test`
+//! instead of by a user running the examples. Parameters are scaled down
+//! where possible to keep the suite fast; the point is exercising every
+//! inter-crate edge, not the physics (the physics assertions live in the
+//! other integration tests).
+
+use sna::prelude::*;
+
+/// `examples/quickstart.rs`: Table-1 cluster through all four methods.
+#[test]
+fn quickstart_core_path() {
+    let spec = table1_spec();
+    let model = ClusterMacromodel::build(&spec).expect("build macromodel");
+    let noise = simulate_macromodel(&model).expect("engine solve");
+    let m = noise.dp_metrics(model.q_out);
+    assert!(m.peak > 0.0, "engine must report a positive DP glitch");
+
+    let cmp = MethodComparison::run("smoke", &spec).expect("four-way comparison");
+    // The paper's headline: the macromodel tracks golden far better than
+    // linear superposition does.
+    assert!(cmp.macromodel.peak_err_pct.abs() < cmp.superposition.peak_err_pct.abs());
+    // Display impl is part of the public surface the examples rely on.
+    assert!(format!("{cmp}").contains("macromodel"));
+}
+
+/// `examples/characterize.rs`: the pre-characterization suite end to end.
+#[test]
+fn characterize_core_path() {
+    let tech = Technology::cmos130();
+    let victim = Cell::nand2(tech.clone(), 1.0);
+    let mode = victim.holding_low_mode();
+    let opts = CharacterizeOptions {
+        grid: 5,
+        ..Default::default()
+    };
+
+    let lc = characterize_load_curve(&victim, &mode, &opts).expect("load curve");
+    // The restoring current the paper models must be non-trivial.
+    assert!(lc.current(tech.vdd, 0.4 * tech.vdd) > 0.0);
+
+    let r_hold = holding_resistance(&victim, &mode, &Default::default()).expect("holding R");
+    assert!(r_hold > 0.0 && r_hold.is_finite());
+
+    let nrc = characterize_nrc(&Cell::inv(tech.clone(), 1.0), true, &[100e-12, 400e-12])
+        .expect("receiver NRC");
+    // Wider glitches upset the receiver at lower heights.
+    assert!(nrc.fail_heights[1] <= nrc.fail_heights[0]);
+}
+
+/// `examples/crosstalk_sweep.rs`: spec variation + engine vs superposition.
+#[test]
+fn crosstalk_sweep_core_path() {
+    let mut spec = table1_spec();
+    spec.bus = m4_bus(&spec.tech, 2, 250.0, 8);
+    let model = ClusterMacromodel::build(&spec).expect("build variant");
+    let eng = simulate_macromodel(&model)
+        .expect("engine")
+        .dp_metrics(model.q_out);
+    let sup = simulate_superposition(&model)
+        .expect("superposition")
+        .dp_metrics(model.q_out);
+    assert!(eng.peak > 0.0 && sup.peak > 0.0);
+}
+
+/// `examples/sna_flow.rs`: random design generation through sign-off.
+#[test]
+fn sna_flow_core_path() {
+    let tech = Technology::cmos130();
+    let design = Design::random(&tech, 3, 2005);
+    assert_eq!(design.clusters.len(), 3);
+
+    let nrc = characterize_nrc(&Cell::inv(tech.clone(), 1.0), true, &[100e-12, 400e-12])
+        .expect("receiver NRC");
+    let report = run_sna(&design, &nrc, &SnaOptions::default()).expect("sna flow");
+    let total = report.count(Verdict::Pass)
+        + report.count(Verdict::MarginWarning)
+        + report.count(Verdict::Fail);
+    assert_eq!(total, design.clusters.len(), "every cluster gets a verdict");
+}

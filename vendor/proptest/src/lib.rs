@@ -1,0 +1,239 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The build environment has no registry access, so this crate implements
+//! the surface the workspace's property tests use: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(...)]` header), range / tuple /
+//! `collection::vec` strategies, [`prop_assert!`] / [`prop_assert_eq!`], and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a deterministic
+//! per-test seed, so failures reproduce across runs; there is no shrinking —
+//! a failing case panics with the generated values left to inspection via
+//! the assertion message. Swap in the real crates.io `proptest` for
+//! shrinking and persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default; cheap for the workspace's small cases.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value generator, mirroring `proptest::strategy::Strategy` (generation
+/// only — no value tree, no shrinking).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, i32, i64, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// `Vec` strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: exact or uniformly drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with `size` elements (exact count or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG: the seed is a stable hash of the test name,
+/// so a failing case reproduces on every run.
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// Assertion mirror of `proptest::prop_assert!` (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assertion mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property-test block mirror of `proptest::proptest!`: each contained
+/// `#[test] fn name(arg in strategy, ...) { ... }` becomes a plain test
+/// running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; ) => {};
+    (
+        config = $cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in -1.0f64..1.0, (n, c) in (0usize..8, 1e-16f64..1e-11)) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(n < 8);
+            prop_assert!((1e-16..1e-11).contains(&c));
+        }
+
+        #[test]
+        fn vecs_exact_and_ranged(
+            rows in collection::vec(collection::vec(-1.0f64..1.0, 6), 6),
+            sized in collection::vec(1.0f64..2.0, 1..8),
+        ) {
+            prop_assert_eq!(rows.len(), 6);
+            prop_assert!(rows.iter().all(|r| r.len() == 6));
+            prop_assert!((1..8).contains(&sized.len()));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::deterministic_rng("t");
+        let mut b = crate::deterministic_rng("t");
+        let s = crate::collection::vec(0.0f64..1.0, 4);
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! `Serialize` / `Deserialize` names (trait + derive-macro namespaces) that
+//! the workspace sources import, with no actual serialization behavior.
+//! Replace the `[patch]`-free path dependency with the real crates.io `serde`
+//! to restore full functionality — no source changes needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. No methods; the no-op derive
+/// does not implement it, and nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
