@@ -1,0 +1,85 @@
+//! Scaling bench for the parallel full-chip flow.
+//!
+//! Measures whole-design throughput (one `run_sna_parallel` call over a
+//! 64-cluster design, shared characterization cache included) at 1/2/4/8
+//! workers. On a multi-core host the 4-thread run should land at ≥ 2× the
+//! 1-thread throughput: clusters are independent, and the shared cache
+//! turns repeated characterization into lock-striped reads. On a 1-core
+//! container the thread counts collapse to the same wall clock — the
+//! interesting number is then the per-cluster cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sna_cells::{Cell, Technology};
+use sna_core::prelude::*;
+use sna_flow::{run_sna_parallel, FlowOptions};
+
+const DESIGN_CLUSTERS: usize = 64;
+const DESIGN_SEED: u64 = 2005;
+
+fn flow_thread_scaling(c: &mut Criterion) {
+    let tech = Technology::cmos130();
+    let design = Design::random(&tech, DESIGN_CLUSTERS, DESIGN_SEED);
+    let nrc = characterize_nrc(
+        &Cell::inv(tech.clone(), 1.0),
+        true,
+        &[100e-12, 300e-12, 900e-12],
+    )
+    .expect("nrc");
+    let mut group = c.benchmark_group("flow/threads_64cl");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let opts = FlowOptions {
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |b, opts| {
+            b.iter(|| {
+                run_sna_parallel(
+                    std::hint::black_box(&design),
+                    std::hint::black_box(&nrc),
+                    opts,
+                )
+                .expect("flow run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn flow_cache_amortization(c: &mut Criterion) {
+    // The shared-cache payoff in isolation: the same design analyzed with a
+    // cold cache every iteration (above) vs. per-cluster builds against an
+    // already-warm library.
+    let tech = Technology::cmos130();
+    let design = Design::random(&tech, 8, DESIGN_SEED);
+    let mm = MacromodelOptions::default();
+    let warm = NoiseModelLibrary::new();
+    for cl in &design.clusters {
+        ClusterMacromodel::build_with_library(&cl.spec, &mm, &warm).expect("warm build");
+    }
+    let mut group = c.benchmark_group("flow/library");
+    group.sample_size(10);
+    group.bench_function("cold_8cl", |b| {
+        b.iter(|| {
+            let lib = NoiseModelLibrary::new();
+            for cl in &design.clusters {
+                std::hint::black_box(
+                    ClusterMacromodel::build_with_library(&cl.spec, &mm, &lib).expect("build"),
+                );
+            }
+        })
+    });
+    group.bench_function("warm_8cl", |b| {
+        b.iter(|| {
+            for cl in &design.clusters {
+                std::hint::black_box(
+                    ClusterMacromodel::build_with_library(&cl.spec, &mm, &warm).expect("build"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flow_thread_scaling, flow_cache_amortization);
+criterion_main!(benches);

@@ -234,7 +234,9 @@ impl ClusterMacromodel {
     /// [`ClusterMacromodel::build`] drawing the per-cell artifacts from a
     /// shared [`NoiseModelLibrary`]: load curves and holding resistances
     /// are reused exactly, propagated-noise tables per ×1.2 load bucket.
-    /// This is how a design-level flow amortizes characterization.
+    /// This is how a design-level flow amortizes characterization. The
+    /// library is taken by `&` — it is internally synchronized, so a
+    /// parallel flow can share one instance across worker threads.
     ///
     /// # Errors
     ///
@@ -242,7 +244,7 @@ impl ClusterMacromodel {
     pub fn build_with_library(
         spec: &ClusterSpec,
         options: &MacromodelOptions,
-        library: &mut NoiseModelLibrary,
+        library: &NoiseModelLibrary,
     ) -> Result<Self> {
         Self::build_impl(spec, options, Some(library))
     }
@@ -250,18 +252,18 @@ impl ClusterMacromodel {
     fn build_impl(
         spec: &ClusterSpec,
         options: &MacromodelOptions,
-        mut library: Option<&mut NoiseModelLibrary>,
+        library: Option<&NoiseModelLibrary>,
     ) -> Result<Self> {
         spec.validate()?;
         let vdd = spec.tech.vdd;
         // --- Victim driver characterization (Eq. 1 + parasitics).
-        let load_curve = match library.as_deref_mut() {
+        let load_curve = match library {
             Some(lib) => {
                 (*lib.load_curve(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?).clone()
             }
             None => characterize_load_curve(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?,
         };
-        let r_hold = match library.as_deref_mut() {
+        let r_hold = match library {
             Some(lib) => {
                 lib.holding_resistance(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?
             }

@@ -55,7 +55,10 @@ pub mod prelude {
     pub use crate::scenarios::{
         falling_spec, m4_bus, mixed_phase_spec, sweep_specs, table1_spec, table2_spec, SweepCase,
     };
-    pub use crate::sna::{run_sna, ClusterFinding, Design, NoiseReport, SnaOptions, Verdict};
+    pub use crate::sna::{
+        analyze_cluster, run_sna, ClusterFinding, Design, DesignCluster, NoiseReport,
+        SkippedCluster, SnaOptions, Verdict,
+    };
     pub use crate::superposition::simulate_superposition;
     pub use crate::zolotov::{simulate_zolotov, ZolotovOptions};
 }

@@ -1,4 +1,4 @@
-//! Characterization cache shared across clusters.
+//! Characterization cache shared across clusters — and across threads.
 //!
 //! The paper's pre-characterization step ("performed … during a
 //! pre-characterization step", §2) is meant to run **once per library
@@ -17,16 +17,29 @@
 //! proportional to library diversity, not design size. Thevenin aggressor
 //! fits are *not* cached: they depend on the continuous Π of each specific
 //! net and are cheap relative to the rest.
+//!
+//! The store is internally sharded (`RwLock<HashMap>` per shard, keyed by
+//! hash) with atomically aggregated hit/miss counters, so a parallel flow
+//! (`sna-flow`) can share one library by `&` reference across worker
+//! threads: concurrent lookups of *different* cells proceed without
+//! contention, and a cache hit never blocks behind a characterization in
+//! progress (characterization runs outside any lock). Two threads racing on
+//! the same cold key may both characterize; the artifacts are deterministic
+//! functions of the key, so whichever insert lands first wins and results
+//! are identical either way.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use sna_cells::characterize::{
     characterize_load_curve, characterize_propagated_noise, holding_resistance,
     CharacterizeOptions, LoadCurve, PropagatedNoiseTable,
 };
 use sna_cells::{Cell, DriverMode};
-use sna_spice::error::Result;
+use sna_spice::error::{Error, Result};
 use sna_spice::units::PS;
 
 /// Identity of a (cell, drive-state) pair, hashable across f64 parameters.
@@ -52,9 +65,19 @@ impl CellKey {
 }
 
 /// Geometric load bucket (×1.2 steps) for propagated-noise tables.
-fn load_bucket(cap: f64) -> i32 {
-    debug_assert!(cap > 0.0);
-    (cap.ln() / 1.2_f64.ln()).round() as i32
+///
+/// # Errors
+///
+/// Rejects non-positive or non-finite capacitances: `ln` of those yields a
+/// garbage bucket (and previously only a `debug_assert!` guarded this, so
+/// release builds silently cached tables at meaningless loads).
+fn load_bucket(cap: f64) -> Result<i32> {
+    if !cap.is_finite() || cap <= 0.0 {
+        return Err(Error::InvalidAnalysis(format!(
+            "propagated-noise load capacitance must be positive and finite, got {cap:e}"
+        )));
+    }
+    Ok((cap.ln() / 1.2_f64.ln()).round() as i32)
 }
 
 /// Representative capacitance of a bucket (its geometric center).
@@ -71,13 +94,78 @@ pub struct LibraryStats {
     pub misses: usize,
 }
 
+/// Number of independent lock shards per artifact map. Eight is plenty for
+/// the thread counts a desktop flow runs at; the map is keyed by cell
+/// identity, so distinct cells almost always land on distinct shards.
+const SHARD_COUNT: usize = 8;
+
+/// A hash-sharded `RwLock<HashMap>`: readers of different shards never
+/// contend, and writers only lock the one shard their key hashes to.
+#[derive(Debug)]
+struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % SHARD_COUNT]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Insert `value` unless a racing thread beat us to the key; either
+    /// way, return the value that ended up in the map.
+    fn insert_if_absent(&self, key: K, value: V) -> V {
+        self.shard(&key)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Memoizing store of per-cell noise-characterization artifacts.
+///
+/// All methods take `&self`: the library is safe to share across threads
+/// (wrap it in an `Arc` or borrow it from a scoped thread) and serves as
+/// the shared characterization cache of the parallel `sna-flow` driver.
 #[derive(Debug, Default)]
 pub struct NoiseModelLibrary {
-    load_curves: HashMap<(CellKey, usize), Arc<LoadCurve>>,
-    holding: HashMap<CellKey, f64>,
-    prop_tables: HashMap<(CellKey, i32), Arc<PropagatedNoiseTable>>,
-    stats: LibraryStats,
+    load_curves: ShardedMap<(CellKey, usize), Arc<LoadCurve>>,
+    holding: ShardedMap<CellKey, f64>,
+    prop_tables: ShardedMap<(CellKey, i32), Arc<PropagatedNoiseTable>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 impl NoiseModelLibrary {
@@ -86,9 +174,12 @@ impl NoiseModelLibrary {
         Self::default()
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far (aggregated atomically across threads).
     pub fn stats(&self) -> LibraryStats {
-        self.stats
+        LibraryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct artifacts stored.
@@ -101,6 +192,14 @@ impl NoiseModelLibrary {
         self.len() == 0
     }
 
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The Eq. (1) load curve for `(cell, mode)` at the grid in `opts`,
     /// characterized on first use.
     ///
@@ -108,20 +207,19 @@ impl NoiseModelLibrary {
     ///
     /// Propagates characterization failures (which are then *not* cached).
     pub fn load_curve(
-        &mut self,
+        &self,
         cell: &Cell,
         mode: &DriverMode,
         opts: &CharacterizeOptions,
     ) -> Result<Arc<LoadCurve>> {
         let key = (CellKey::new(cell, mode), opts.grid);
         if let Some(hit) = self.load_curves.get(&key) {
-            self.stats.hits += 1;
-            return Ok(Arc::clone(hit));
+            self.record_hit();
+            return Ok(hit);
         }
-        self.stats.misses += 1;
+        self.record_miss();
         let lc = Arc::new(characterize_load_curve(cell, mode, opts)?);
-        self.load_curves.insert(key, Arc::clone(&lc));
-        Ok(lc)
+        Ok(self.load_curves.insert_if_absent(key, lc))
     }
 
     /// Holding resistance for `(cell, mode)`, characterized on first use.
@@ -130,20 +228,19 @@ impl NoiseModelLibrary {
     ///
     /// Propagates characterization failures.
     pub fn holding_resistance(
-        &mut self,
+        &self,
         cell: &Cell,
         mode: &DriverMode,
         opts: &CharacterizeOptions,
     ) -> Result<f64> {
         let key = CellKey::new(cell, mode);
-        if let Some(&hit) = self.holding.get(&key) {
-            self.stats.hits += 1;
+        if let Some(hit) = self.holding.get(&key) {
+            self.record_hit();
             return Ok(hit);
         }
-        self.stats.misses += 1;
+        self.record_miss();
         let r = holding_resistance(cell, mode, &opts.newton)?;
-        self.holding.insert(key, r);
-        Ok(r)
+        Ok(self.holding.insert_if_absent(key, r))
     }
 
     /// Propagated-noise table for `(cell, mode)` at the load bucket
@@ -153,20 +250,21 @@ impl NoiseModelLibrary {
     ///
     /// # Errors
     ///
-    /// Propagates characterization failures.
+    /// Rejects non-positive/non-finite `load_cap`; propagates
+    /// characterization failures.
     pub fn propagated_table(
-        &mut self,
+        &self,
         cell: &Cell,
         mode: &DriverMode,
         load_cap: f64,
     ) -> Result<Arc<PropagatedNoiseTable>> {
-        let bucket = load_bucket(load_cap);
+        let bucket = load_bucket(load_cap)?;
         let key = (CellKey::new(cell, mode), bucket);
         if let Some(hit) = self.prop_tables.get(&key) {
-            self.stats.hits += 1;
-            return Ok(Arc::clone(hit));
+            self.record_hit();
+            return Ok(hit);
         }
-        self.stats.misses += 1;
+        self.record_miss();
         let vdd = cell.tech.vdd;
         let heights: Vec<f64> = [0.25, 0.45, 0.65, 0.85, 1.05]
             .iter()
@@ -183,8 +281,7 @@ impl NoiseModelLibrary {
             &heights,
             &widths,
         )?);
-        self.prop_tables.insert(key, Arc::clone(&table));
-        Ok(table)
+        Ok(self.prop_tables.insert_if_absent(key, table))
     }
 }
 
@@ -202,7 +299,7 @@ mod tests {
             grid: 9,
             ..Default::default()
         };
-        let mut lib = NoiseModelLibrary::new();
+        let lib = NoiseModelLibrary::new();
         let a = lib.load_curve(&cell, &mode, &opts).unwrap();
         assert_eq!(lib.stats(), LibraryStats { hits: 0, misses: 1 });
         let b = lib.load_curve(&cell, &mode, &opts).unwrap();
@@ -226,7 +323,7 @@ mod tests {
         let tech = Technology::cmos130();
         let cell = Cell::inv(tech, 1.0);
         let mode = cell.holding_low_mode();
-        let mut lib = NoiseModelLibrary::new();
+        let lib = NoiseModelLibrary::new();
         let coarse = CharacterizeOptions {
             grid: 5,
             ..Default::default()
@@ -245,7 +342,7 @@ mod tests {
         let tech = Technology::cmos130();
         let cell = Cell::inv(tech, 1.0);
         let mode = cell.holding_low_mode();
-        let mut lib = NoiseModelLibrary::new();
+        let lib = NoiseModelLibrary::new();
         let a = lib.propagated_table(&cell, &mode, 50e-15).unwrap();
         // +5% load: same bucket, cache hit.
         let b = lib.propagated_table(&cell, &mode, 52.5e-15).unwrap();
@@ -258,12 +355,30 @@ mod tests {
 
     #[test]
     fn bucketing_is_geometric() {
-        assert_eq!(load_bucket(50e-15), load_bucket(52e-15));
-        assert_ne!(load_bucket(50e-15), load_bucket(80e-15));
+        assert_eq!(load_bucket(50e-15).unwrap(), load_bucket(52e-15).unwrap());
+        assert_ne!(load_bucket(50e-15).unwrap(), load_bucket(80e-15).unwrap());
         // Representative load is within one step of any member.
-        let b = load_bucket(60e-15);
+        let b = load_bucket(60e-15).unwrap();
         let rep = bucket_cap(b);
         assert!(rep / 60e-15 < 1.2 && 60e-15 / rep < 1.2);
+    }
+
+    #[test]
+    fn nonpositive_loads_rejected() {
+        assert!(load_bucket(0.0).is_err());
+        assert!(load_bucket(-1e-15).is_err());
+        assert!(load_bucket(f64::NAN).is_err());
+        assert!(load_bucket(f64::INFINITY).is_err());
+        // Positive finite loads still bucket.
+        assert!(load_bucket(1e-15).is_ok());
+        // The error surfaces through the public cache API too, and nothing
+        // garbage is cached.
+        let tech = Technology::cmos130();
+        let cell = Cell::inv(tech, 1.0);
+        let mode = cell.holding_low_mode();
+        let lib = NoiseModelLibrary::new();
+        assert!(lib.propagated_table(&cell, &mode, -5e-15).is_err());
+        assert!(lib.is_empty());
     }
 
     #[test]
@@ -271,11 +386,34 @@ mod tests {
         let tech = Technology::cmos130();
         let cell = Cell::nand2(tech, 1.0);
         let mode = cell.holding_low_mode();
-        let mut lib = NoiseModelLibrary::new();
+        let lib = NoiseModelLibrary::new();
         let opts = CharacterizeOptions::default();
         let r1 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
         let r2 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
         assert_eq!(r1, r2);
         assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn library_is_shareable_across_threads() {
+        let tech = Technology::cmos130();
+        let lib = NoiseModelLibrary::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lib = &lib;
+                let tech = tech.clone();
+                s.spawn(move || {
+                    let cell = Cell::inv(tech, 1.0);
+                    let mode = cell.holding_low_mode();
+                    lib.holding_resistance(&cell, &mode, &CharacterizeOptions::default())
+                        .unwrap();
+                });
+            }
+        });
+        // One artifact stored no matter how the threads raced.
+        assert_eq!(lib.len(), 1);
+        let st = lib.stats();
+        assert_eq!(st.hits + st.misses, 4);
+        assert!(st.misses >= 1);
     }
 }

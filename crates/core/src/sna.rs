@@ -6,6 +6,11 @@
 //! synthetic design generator (clusters with randomized geometry, drivers
 //! and coupling), per-cluster worst-case evaluation with the macromodel
 //! engine, and NRC-based sign-off classification at the victim receivers.
+//!
+//! [`run_sna`] walks the design serially; the `sna-flow` crate drives the
+//! same per-cluster kernel ([`analyze_cluster`]) from a worker pool with a
+//! shared [`NoiseModelLibrary`](crate::library::NoiseModelLibrary) for
+//! full-chip runs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,8 +21,11 @@ use sna_spice::units::{NS, PS};
 use sna_spice::waveform::GlitchMetrics;
 
 use crate::alignment::worst_case_alignment;
-use crate::cluster::{AggressorSpec, ClusterMacromodel, ClusterSpec, InputGlitch, VictimSpec};
+use crate::cluster::{
+    AggressorSpec, ClusterMacromodel, ClusterSpec, InputGlitch, MacromodelOptions, VictimSpec,
+};
 use crate::engine::simulate_macromodel;
+use crate::library::NoiseModelLibrary;
 use crate::nrc::NoiseRejectionCurve;
 use crate::scenarios::m4_bus;
 
@@ -52,10 +60,15 @@ pub struct Design {
 
 impl Design {
     /// Generate `n` random clusters with the given `seed`. Geometry spans
-    /// 150–900 µm, 1–3 aggressors of strength ×2–×6, victims drawn from
-    /// {INV, NAND2, NOR2} at ×1–×2, ~60 % of nets carrying a propagated
-    /// glitch.
+    /// 150–900 µm, 1–3 aggressors of discrete strength {×2, ×3, ×4, ×6},
+    /// victims drawn from {INV, NAND2, NOR2} at {×1, ×1.5, ×2}, ~60 % of
+    /// nets carrying a propagated glitch. Drive strengths are discrete, as
+    /// in a real standard-cell library — which is what lets a design-level
+    /// flow reuse per-cell characterization artifacts across clusters.
     pub fn random(tech: &Technology, n: usize, seed: u64) -> Design {
+        const VICTIM_STRENGTHS: [f64; 3] = [1.0, 1.5, 2.0];
+        const AGGRESSOR_STRENGTHS: [f64; 4] = [2.0, 3.0, 4.0, 6.0];
+        const RECEIVER_STRENGTHS: [f64; 2] = [1.0, 2.0];
         let mut rng = StdRng::seed_from_u64(seed);
         let mut clusters = Vec::with_capacity(n);
         for i in 0..n {
@@ -66,7 +79,8 @@ impl Design {
                 1 => CellType::Nand2,
                 _ => CellType::Nor2,
             };
-            let victim_cell = Cell::new(victim_type, tech.clone(), rng.gen_range(1.0..2.0));
+            let strength = VICTIM_STRENGTHS[rng.gen_range(0..VICTIM_STRENGTHS.len())];
+            let victim_cell = Cell::new(victim_type, tech.clone(), strength);
             let mode = victim_cell.holding_low_mode();
             let glitch = if rng.gen_bool(0.6) {
                 Some(InputGlitch {
@@ -79,12 +93,18 @@ impl Design {
             };
             let aggressors = (0..n_agg)
                 .map(|_| AggressorSpec {
-                    cell: Cell::inv(tech.clone(), rng.gen_range(2.0..6.0)),
+                    cell: Cell::inv(
+                        tech.clone(),
+                        AGGRESSOR_STRENGTHS[rng.gen_range(0..AGGRESSOR_STRENGTHS.len())],
+                    ),
                     rising: true,
                     input_slew: rng.gen_range(40.0..150.0) * PS,
                     switch_time: rng.gen_range(0.3..0.7) * NS,
-                    receiver_cap: Cell::inv(tech.clone(), rng.gen_range(1.0..2.0))
-                        .input_capacitance(),
+                    receiver_cap: Cell::inv(
+                        tech.clone(),
+                        RECEIVER_STRENGTHS[rng.gen_range(0..RECEIVER_STRENGTHS.len())],
+                    )
+                    .input_capacitance(),
                 })
                 .collect();
             let bus = m4_bus(tech, n_agg + 1, len_um, 12);
@@ -124,6 +144,11 @@ pub struct SnaOptions {
     /// Guard band (V) below the NRC threshold that triggers
     /// [`Verdict::MarginWarning`].
     pub margin_band: f64,
+    /// Abort the whole run on the first per-cluster engine/build failure
+    /// instead of downgrading it to a [`SkippedCluster`] diagnostic.
+    /// Off by default: a production flow reports the bad net and keeps
+    /// going; tests opt in to catch regressions.
+    pub strict: bool,
 }
 
 impl Default for SnaOptions {
@@ -132,6 +157,7 @@ impl Default for SnaOptions {
             align_worst_case: false,
             align_window: 400.0 * PS,
             margin_band: 0.1,
+            strict: false,
         }
     }
 }
@@ -149,11 +175,24 @@ pub struct ClusterFinding {
     pub verdict: Verdict,
 }
 
+/// A cluster the flow could not analyze (macromodel build or engine
+/// failure), downgraded to a diagnostic in non-strict runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCluster {
+    /// Cluster name.
+    pub name: String,
+    /// Human-readable failure description (the underlying error display).
+    pub reason: String,
+}
+
 /// Design-level report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NoiseReport {
     /// Per-cluster findings, design order.
     pub findings: Vec<ClusterFinding>,
+    /// Clusters skipped with a diagnostic (empty in strict runs, which
+    /// abort instead).
+    pub skipped: Vec<SkippedCluster>,
 }
 
 impl NoiseReport {
@@ -162,21 +201,76 @@ impl NoiseReport {
         self.findings.iter().filter(|f| f.verdict == v).count()
     }
 
-    /// Findings sorted worst-margin-first.
+    /// Findings sorted worst-margin-first. NaN margins (which should not
+    /// occur, but must not panic a sign-off run) sort last via
+    /// [`f64::total_cmp`].
     pub fn worst_first(&self) -> Vec<&ClusterFinding> {
         let mut sorted: Vec<&ClusterFinding> = self.findings.iter().collect();
-        sorted.sort_by(|a, b| a.margin.partial_cmp(&b.margin).expect("finite margins"));
+        sorted.sort_by(|a, b| a.margin.total_cmp(&b.margin));
         sorted
+    }
+
+    /// Total clusters accounted for (analyzed + skipped).
+    pub fn total(&self) -> usize {
+        self.findings.len() + self.skipped.len()
     }
 }
 
-/// Run static noise analysis over a design.
+/// Evaluate one cluster: build its macromodel (drawing per-cell artifacts
+/// from `library`), simulate (optionally at the worst-case alignment), and
+/// classify the receiver glitch against `nrc`.
+///
+/// This is the per-net kernel both [`run_sna`] and the parallel `sna-flow`
+/// driver share; it is deterministic in its inputs, so any scheduling of
+/// clusters across threads yields identical findings.
 ///
 /// # Errors
 ///
-/// Propagates macromodel build / engine failures (a production flow would
-/// downgrade these to per-net diagnostics; here they abort so tests catch
-/// regressions).
+/// Propagates macromodel build / engine failures for the caller to either
+/// abort on (strict) or downgrade to a [`SkippedCluster`].
+pub fn analyze_cluster(
+    cluster: &DesignCluster,
+    nrc: &NoiseRejectionCurve,
+    opts: &SnaOptions,
+    mm_opts: &MacromodelOptions,
+    library: &NoiseModelLibrary,
+) -> Result<ClusterFinding> {
+    let model = ClusterMacromodel::build_with_library(&cluster.spec, mm_opts, library)?;
+    let waves = if opts.align_worst_case {
+        let res = worst_case_alignment(&model, opts.align_window)?;
+        let timed = model.with_timing(&res.switch_times, res.glitch_peak_time);
+        simulate_macromodel(&timed)?
+    } else {
+        simulate_macromodel(&model)?
+    };
+    let rm = waves.receiver.glitch_metrics(model.q_out);
+    let margin = nrc.margin(rm.width, rm.peak);
+    let verdict = if margin < 0.0 {
+        Verdict::Fail
+    } else if margin < opts.margin_band {
+        Verdict::MarginWarning
+    } else {
+        Verdict::Pass
+    };
+    Ok(ClusterFinding {
+        name: cluster.name.clone(),
+        receiver_metrics: rm,
+        margin,
+        verdict,
+    })
+}
+
+/// Run static noise analysis over a design, serially.
+///
+/// Per-cluster engine/build failures are downgraded to
+/// [`NoiseReport::skipped`] diagnostics unless [`SnaOptions::strict`] is
+/// set. For multi-threaded runs use `sna_flow::run_sna_parallel`, which
+/// produces an identical report.
+///
+/// # Errors
+///
+/// In strict mode, propagates the first per-cluster failure (in design
+/// order).
 pub fn run_sna(
     design: &Design,
     nrc: &NoiseRejectionCurve,
@@ -184,35 +278,20 @@ pub fn run_sna(
 ) -> Result<NoiseReport> {
     // One characterization library for the whole design: clusters sharing a
     // (cell, drive-state, load-bucket) reuse each other's artifacts.
-    let mut library = crate::library::NoiseModelLibrary::new();
-    let mm_opts = crate::cluster::MacromodelOptions::default();
-    let mut findings = Vec::with_capacity(design.clusters.len());
+    let library = NoiseModelLibrary::new();
+    let mm_opts = MacromodelOptions::default();
+    let mut report = NoiseReport::default();
     for cl in &design.clusters {
-        let model = ClusterMacromodel::build_with_library(&cl.spec, &mm_opts, &mut library)?;
-        let waves = if opts.align_worst_case {
-            let res = worst_case_alignment(&model, opts.align_window)?;
-            let timed = model.with_timing(&res.switch_times, res.glitch_peak_time);
-            simulate_macromodel(&timed)?
-        } else {
-            simulate_macromodel(&model)?
-        };
-        let rm = waves.receiver.glitch_metrics(model.q_out);
-        let margin = nrc.margin(rm.width, rm.peak);
-        let verdict = if margin < 0.0 {
-            Verdict::Fail
-        } else if margin < opts.margin_band {
-            Verdict::MarginWarning
-        } else {
-            Verdict::Pass
-        };
-        findings.push(ClusterFinding {
-            name: cl.name.clone(),
-            receiver_metrics: rm,
-            margin,
-            verdict,
-        });
+        match analyze_cluster(cl, nrc, opts, &mm_opts, &library) {
+            Ok(finding) => report.findings.push(finding),
+            Err(e) if opts.strict => return Err(e),
+            Err(e) => report.skipped.push(SkippedCluster {
+                name: cl.name.clone(),
+                reason: e.to_string(),
+            }),
+        }
     }
-    Ok(NoiseReport { findings })
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -240,6 +319,31 @@ mod tests {
     }
 
     #[test]
+    fn random_design_reuses_discrete_cells() {
+        // Drive strengths come from a discrete menu, so a modest design
+        // must repeat (cell type, strength) pairs — the precondition for
+        // cross-cluster characterization reuse.
+        let tech = Technology::cmos130();
+        let d = Design::random(&tech, 12, 42);
+        let mut victims: Vec<(&'static str, u64)> = d
+            .clusters
+            .iter()
+            .map(|c| {
+                (
+                    c.spec.victim.cell.cell_type.tag(),
+                    c.spec.victim.cell.strength.to_bits(),
+                )
+            })
+            .collect();
+        victims.sort();
+        victims.dedup();
+        assert!(
+            victims.len() < d.clusters.len(),
+            "12 clusters over a 9-entry victim menu must collide"
+        );
+    }
+
+    #[test]
     fn sna_flow_classifies_a_small_design() {
         let tech = Technology::cmos130();
         let design = Design::random(&tech, 4, 7);
@@ -251,6 +355,8 @@ mod tests {
         .unwrap();
         let report = run_sna(&design, &nrc, &SnaOptions::default()).unwrap();
         assert_eq!(report.findings.len(), 4);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.total(), 4);
         let total = report.count(Verdict::Pass)
             + report.count(Verdict::MarginWarning)
             + report.count(Verdict::Fail);
@@ -260,5 +366,66 @@ mod tests {
         for pair in worst.windows(2) {
             assert!(pair[0].margin <= pair[1].margin);
         }
+    }
+
+    #[test]
+    fn invalid_cluster_is_skipped_not_fatal() {
+        let tech = Technology::cmos130();
+        let mut design = Design::random(&tech, 3, 11);
+        // Sabotage the middle cluster: an empty time window fails
+        // validation inside the macromodel build.
+        design.clusters[1].spec.dt = 0.0;
+        let nrc = characterize_nrc(
+            &Cell::inv(tech.clone(), 1.0),
+            true,
+            &[100.0 * PS, 300.0 * PS, 900.0 * PS],
+        )
+        .unwrap();
+        let report = run_sna(&design, &nrc, &SnaOptions::default()).unwrap();
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].name, "net001");
+        assert!(
+            report.skipped[0].reason.contains("dt"),
+            "reason should carry the underlying error: {}",
+            report.skipped[0].reason
+        );
+        // Strict mode still aborts, for tests that want hard failures.
+        let strict = SnaOptions {
+            strict: true,
+            ..Default::default()
+        };
+        assert!(run_sna(&design, &nrc, &strict).is_err());
+    }
+
+    #[test]
+    fn worst_first_survives_nan_margins() {
+        fn finding(name: &str, margin: f64) -> ClusterFinding {
+            ClusterFinding {
+                name: name.into(),
+                receiver_metrics: GlitchMetrics {
+                    peak: 0.1,
+                    polarity: 1.0,
+                    peak_time: 1e-9,
+                    width: 3e-10,
+                    area: 1e-11,
+                },
+                margin,
+                verdict: Verdict::Pass,
+            }
+        }
+        let report = NoiseReport {
+            findings: vec![
+                finding("a", 0.2),
+                finding("nan", f64::NAN),
+                finding("b", -0.4),
+            ],
+            skipped: Vec::new(),
+        };
+        // Previously this panicked on `partial_cmp(...).expect(...)`.
+        let worst = report.worst_first();
+        assert_eq!(worst[0].name, "b");
+        assert_eq!(worst[1].name, "a");
+        assert!(worst[2].margin.is_nan(), "NaN sorts last under total_cmp");
     }
 }

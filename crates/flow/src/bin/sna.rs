@@ -1,0 +1,31 @@
+//! The `sna` command-line entry point. All logic lives in `sna_flow::cli`
+//! so it stays unit-testable; this is only flag plumbing and exit codes.
+
+use std::process::ExitCode;
+
+use sna_flow::cli::{parse_args, run, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg == "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Argument parsing and top-level execution for the `sna` binary.
+//!
+//! Hand-rolled (no `clap` in the vendored set): a flat flag grammar,
+//! `--flag value` only, with `--help` text kept next to the parser so the
+//! two cannot drift apart. Lives in the library so the parser is unit
+//! tested; the binary is a thin `main`.
+
+use sna_cells::Technology;
+use sna_spice::units::PS;
+
+use crate::corners::{corner_by_name, run_corners};
+use crate::driver::FlowOptions;
+use crate::output::{to_csv, to_json, to_text, RunSummary};
+
+/// Output format of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable summary table.
+    Text,
+    /// `sna-report-v1` JSON document.
+    Json,
+    /// One CSV row per net per corner.
+    Csv,
+}
+
+/// Parsed CLI configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliConfig {
+    /// Clusters per corner.
+    pub clusters: usize,
+    /// Design-generator seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Corner names, in sweep order.
+    pub corners: Vec<String>,
+    /// Run the worst-case alignment search.
+    pub worst_case: bool,
+    /// NRC guard band (V).
+    pub guard_band: f64,
+    /// Abort on the first per-cluster failure.
+    pub strict: bool,
+    /// Report format.
+    pub format: Format,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 12,
+            seed: 2005,
+            threads: 0,
+            corners: vec!["cmos130".into()],
+            worst_case: false,
+            guard_band: 0.1,
+            strict: false,
+            format: Format::Text,
+        }
+    }
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+sna — parallel full-chip static noise analysis (Forzan & Pandini macromodel)
+
+USAGE:
+    sna [OPTIONS]
+
+OPTIONS:
+    --clusters <N>        clusters per corner                 [default: 12]
+    --seed <S>            design-generator seed               [default: 2005]
+    --threads <T>         worker threads, 0 = auto            [default: 0]
+    --corners <LIST>      comma-separated technology nodes    [default: cmos130]
+                          (available: cmos130, cmos90)
+    --worst-case          run the worst-case alignment search per cluster
+    --guard-band <V>      NRC margin guard band in volts      [default: 0.1]
+    --strict              abort on the first per-cluster failure instead of
+                          downgrading it to a skipped-net diagnostic
+    --format <F>          text | json | csv                   [default: text]
+    --help                print this help
+
+The report (stdout) is a pure function of the design and options: a run at
+--threads N is byte-identical to --threads 1. Cache statistics and timing
+go to stderr.";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("bad value '{raw}' for {flag}"))
+}
+
+/// Parse CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a message suitable for printing alongside [`USAGE`]; the
+/// special value `Err("help")` means `--help` was requested.
+pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clusters" => cfg.clusters = parse_value(arg, it.next())?,
+            "--seed" => cfg.seed = parse_value(arg, it.next())?,
+            "--threads" => cfg.threads = parse_value(arg, it.next())?,
+            "--guard-band" => {
+                cfg.guard_band = parse_value(arg, it.next())?;
+                if !cfg.guard_band.is_finite() || cfg.guard_band < 0.0 {
+                    return Err(format!(
+                        "--guard-band must be a non-negative voltage, got {}",
+                        cfg.guard_band
+                    ));
+                }
+            }
+            "--corners" => {
+                let raw: String = parse_value(arg, it.next())?;
+                cfg.corners = raw.split(',').map(|s| s.trim().to_string()).collect();
+                if cfg.corners.iter().any(String::is_empty) {
+                    return Err("--corners has an empty entry".into());
+                }
+            }
+            "--worst-case" => cfg.worst_case = true,
+            "--strict" => cfg.strict = true,
+            "--format" => {
+                let raw: String = parse_value(arg, it.next())?;
+                cfg.format = match raw.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Execute a parsed configuration and render the report.
+///
+/// Returns the rendered report for stdout; writes cache/timing diagnostics
+/// to stderr.
+///
+/// # Errors
+///
+/// Propagates corner resolution, NRC characterization, and (strict-mode)
+/// per-cluster failures.
+pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
+    let corners: Vec<Technology> = cfg
+        .corners
+        .iter()
+        .map(|name| corner_by_name(name))
+        .collect::<sna_spice::error::Result<_>>()?;
+    let opts = FlowOptions {
+        sna: sna_core::sna::SnaOptions {
+            align_worst_case: cfg.worst_case,
+            align_window: 400.0 * PS,
+            margin_band: cfg.guard_band,
+            strict: cfg.strict,
+        },
+        mm: Default::default(),
+        threads: cfg.threads,
+    };
+    let started = std::time::Instant::now();
+    let corner_reports = run_corners(&corners, cfg.clusters, cfg.seed, &opts)?;
+    let elapsed = started.elapsed();
+    let total_clusters: usize = corner_reports.iter().map(|c| c.flow.report.total()).sum();
+    for c in &corner_reports {
+        eprintln!(
+            "[{}] {} threads, cache {} hits / {} misses",
+            c.tech, c.flow.threads, c.flow.cache.hits, c.flow.cache.misses
+        );
+    }
+    eprintln!(
+        "analyzed {} clusters in {:.2} s ({:.1} clusters/s)",
+        total_clusters,
+        elapsed.as_secs_f64(),
+        total_clusters as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let run = RunSummary {
+        clusters: cfg.clusters,
+        seed: cfg.seed,
+        align_worst_case: cfg.worst_case,
+        margin_band: cfg.guard_band,
+        corners: corner_reports,
+    };
+    Ok(match cfg.format {
+        Format::Text => to_text(&run),
+        Format::Json => to_json(&run),
+        Format::Csv => to_csv(&run),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg, CliConfig::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cfg = parse_args(&args(&[
+            "--clusters",
+            "64",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--corners",
+            "cmos130,cmos90",
+            "--worst-case",
+            "--guard-band",
+            "0.05",
+            "--strict",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.clusters, 64);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.corners, ["cmos130", "cmos90"]);
+        assert!(cfg.worst_case);
+        assert_eq!(cfg.guard_band, 0.05);
+        assert!(cfg.strict);
+        assert_eq!(cfg.format, Format::Json);
+    }
+
+    #[test]
+    fn bad_inputs_rejected_with_context() {
+        assert!(parse_args(&args(&["--clusters"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&args(&["--clusters", "many"]))
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(parse_args(&args(&["--format", "xml"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(parse_args(&args(&["--guard-band", "-1"]))
+            .unwrap_err()
+            .contains("non-negative"));
+        assert!(parse_args(&args(&["--wat"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn run_produces_all_three_formats() {
+        let cfg = CliConfig {
+            clusters: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let text = run(&cfg).expect("text run");
+        assert!(text.contains("[cmos130]"));
+        let json = run(&CliConfig {
+            format: Format::Json,
+            ..cfg.clone()
+        })
+        .expect("json run");
+        assert!(json.contains("\"schema\": \"sna-report-v1\""));
+        assert!(json.contains("\"net\": \"net000\""));
+        let csv = run(&CliConfig {
+            format: Format::Csv,
+            ..cfg
+        })
+        .expect("csv run");
+        assert!(csv.starts_with("corner,net,verdict"));
+        assert_eq!(csv.lines().count(), 3); // header + 2 nets
+    }
+
+    #[test]
+    fn unknown_corner_fails_at_run_time() {
+        let cfg = CliConfig {
+            corners: vec!["cmos7".into()],
+            ..Default::default()
+        };
+        assert!(run(&cfg).is_err());
+    }
+}

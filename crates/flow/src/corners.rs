@@ -1,0 +1,95 @@
+//! Multi-corner sweeps.
+//!
+//! Sign-off runs the same netlist at every characterized process corner;
+//! here a "corner" is a [`Technology`] node (the repo ships 0.13 µm and
+//! 90 nm decks). Each corner gets its own synthetic design realization
+//! (same cluster count and seed, so corner deltas are apples-to-apples),
+//! its own receiver NRC, and its own parallel flow run.
+
+use sna_cells::{Cell, Technology};
+use sna_core::nrc::characterize_nrc;
+use sna_core::sna::Design;
+use sna_spice::error::{Error, Result};
+use sna_spice::units::PS;
+
+use crate::driver::{run_sna_parallel, FlowOptions, FlowReport};
+
+/// The flow result at one process corner.
+#[derive(Debug, Clone)]
+pub struct CornerReport {
+    /// Technology-node name (e.g. `cmos130`).
+    pub tech: String,
+    /// The flow report at this corner.
+    pub flow: FlowReport,
+}
+
+/// Resolve a corner name to its technology deck.
+///
+/// # Errors
+///
+/// Fails on unknown names; the valid set is `cmos130` and `cmos90`.
+pub fn corner_by_name(name: &str) -> Result<Technology> {
+    match name {
+        "cmos130" => Ok(Technology::cmos130()),
+        "cmos90" => Ok(Technology::cmos90()),
+        other => Err(Error::InvalidAnalysis(format!(
+            "unknown corner '{other}' (expected cmos130 or cmos90)"
+        ))),
+    }
+}
+
+/// Standard receiver-NRC width grid (s) used by the CLI flow.
+pub const NRC_WIDTHS: [f64; 5] = [100.0 * PS, 200.0 * PS, 400.0 * PS, 800.0 * PS, 1600.0 * PS];
+
+/// Run the flow on an `n_clusters`-net random design at every corner.
+///
+/// # Errors
+///
+/// Propagates NRC characterization failures and (in strict mode)
+/// per-cluster failures.
+pub fn run_corners(
+    corners: &[Technology],
+    n_clusters: usize,
+    seed: u64,
+    opts: &FlowOptions,
+) -> Result<Vec<CornerReport>> {
+    let mut out = Vec::with_capacity(corners.len());
+    for tech in corners {
+        let design = Design::random(tech, n_clusters, seed);
+        let nrc = characterize_nrc(&Cell::inv(tech.clone(), 1.0), true, &NRC_WIDTHS)?;
+        let flow = run_sna_parallel(&design, &nrc, opts)?;
+        out.push(CornerReport {
+            tech: tech.name.clone(),
+            flow,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_names_resolve() {
+        assert_eq!(corner_by_name("cmos130").unwrap().name, "cmos130");
+        assert_eq!(corner_by_name("cmos90").unwrap().name, "cmos90");
+        assert!(corner_by_name("cmos7").is_err());
+    }
+
+    #[test]
+    fn sweep_covers_both_nodes() {
+        let corners = [Technology::cmos130(), Technology::cmos90()];
+        let opts = FlowOptions {
+            threads: 2,
+            ..Default::default()
+        };
+        let reports = run_corners(&corners, 2, 17, &opts).expect("sweep");
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].tech, "cmos130");
+        assert_eq!(reports[1].tech, "cmos90");
+        for r in &reports {
+            assert_eq!(r.flow.report.total(), 2, "{}", r.tech);
+        }
+    }
+}

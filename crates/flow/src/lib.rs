@@ -1,0 +1,35 @@
+//! # sna-flow — parallel full-chip static noise analysis
+//!
+//! The paper's closing future work is "a complete methodology for static
+//! noise analysis based on our macromodel"; `sna-core` supplies the
+//! per-cluster methodology, and this crate scales it to designs: a
+//! hand-rolled order-preserving worker pool ([`pool`]), a design-level
+//! driver sharing one synchronized characterization cache across workers
+//! ([`driver`]), multi-corner sweeps ([`corners`]), report serializers
+//! ([`output`]), and the `sna` command-line binary ([`cli`]).
+//!
+//! The central contract is **determinism**: a run at `--threads N` emits a
+//! report byte-identical to `--threads 1`. Scheduling only changes *when*
+//! a cluster is analyzed, never *what* its analysis sees — the shared
+//! cache memoizes pure functions, and the merge is in design order.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod corners;
+pub mod driver;
+pub mod output;
+pub mod pool;
+
+pub use corners::{corner_by_name, run_corners, CornerReport};
+pub use driver::{run_sna_parallel, FlowOptions, FlowReport};
+pub use pool::{auto_threads, parallel_map_ordered};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::cli::{parse_args, CliConfig, Format};
+    pub use crate::corners::{corner_by_name, run_corners, CornerReport};
+    pub use crate::driver::{run_sna_parallel, FlowOptions, FlowReport};
+    pub use crate::output::{to_csv, to_json, to_text, RunSummary};
+    pub use crate::pool::{auto_threads, parallel_map_ordered};
+}

@@ -45,17 +45,28 @@ fn main() -> sna::spice::Result<()> {
     );
 
     // Worst-case alignment pass (the expensive sign-off question: can these
-    // events EVER line up badly?). Affordable only with the fast engine.
-    let worst = run_sna(
+    // events EVER line up badly?). Affordable only with the fast engine —
+    // and run here through the parallel flow driver, which shares one
+    // characterization cache across workers and merges findings in design
+    // order (identical output at any thread count).
+    let flow = run_sna_parallel(
         &design,
         &nrc,
-        &SnaOptions {
-            align_worst_case: true,
+        &FlowOptions {
+            sna: SnaOptions {
+                align_worst_case: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )?;
+    let worst = flow.report;
     println!(
-        "worst-case aligned: {} pass, {} marginal, {} fail\n",
+        "worst-case aligned ({} threads, cache {} hits / {} misses): \
+         {} pass, {} marginal, {} fail\n",
+        flow.threads,
+        flow.cache.hits,
+        flow.cache.misses,
         worst.count(Verdict::Pass),
         worst.count(Verdict::MarginWarning),
         worst.count(Verdict::Fail)
@@ -65,16 +76,28 @@ fn main() -> sna::spice::Result<()> {
         "{:<8} {:>10} {:>10} {:>10} {:>10}  verdict",
         "net", "peak (V)", "width(ps)", "margin(V)", "wc-margin"
     );
-    for (f, fw) in report.findings.iter().zip(&worst.findings) {
-        println!(
-            "{:<8} {:>10.3} {:>10.0} {:>10.3} {:>10.3}  {:?}",
-            f.name,
-            f.receiver_metrics.peak,
-            f.receiver_metrics.width * 1e12,
-            f.margin,
-            fw.margin,
-            fw.verdict
-        );
+    // Join the two passes by net name, not index: either pass may have
+    // downgraded a cluster to `skipped`, which would shift a positional zip.
+    for f in &report.findings {
+        match worst.findings.iter().find(|fw| fw.name == f.name) {
+            Some(fw) => println!(
+                "{:<8} {:>10.3} {:>10.0} {:>10.3} {:>10.3}  {:?}",
+                f.name,
+                f.receiver_metrics.peak,
+                f.receiver_metrics.width * 1e12,
+                f.margin,
+                fw.margin,
+                fw.verdict
+            ),
+            None => println!(
+                "{:<8} {:>10.3} {:>10.0} {:>10.3} {:>10}  (skipped in worst-case pass)",
+                f.name,
+                f.receiver_metrics.peak,
+                f.receiver_metrics.width * 1e12,
+                f.margin,
+                "-",
+            ),
+        }
     }
     println!("\nworst three nets (by worst-case margin):");
     for f in worst.worst_first().iter().take(3) {

@@ -18,7 +18,10 @@
 //!   "coupled-S" driving-point model);
 //! * [`core`] — the paper's contribution plus the linear-superposition and
 //!   iterative-Thevenin baselines, NRC sign-off, worst-case alignment, and
-//!   a complete SNA flow.
+//!   a complete SNA flow;
+//! * [`flow`] — the parallel full-chip subsystem: an order-preserving
+//!   worker pool, a shared (sharded, lock-striped) characterization cache,
+//!   multi-corner sweeps, and the `sna` CLI with JSON/CSV reports.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use sna_cells as cells;
 pub use sna_core as core;
+pub use sna_flow as flow;
 pub use sna_interconnect as interconnect;
 pub use sna_mor as mor;
 pub use sna_spice as spice;
@@ -51,6 +55,7 @@ pub use sna_spice as spice;
 pub mod prelude {
     pub use sna_cells::prelude::*;
     pub use sna_core::prelude::*;
+    pub use sna_flow::prelude::*;
     pub use sna_interconnect::prelude::*;
     pub use sna_mor::prelude::*;
     pub use sna_spice::prelude::*;

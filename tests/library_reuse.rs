@@ -16,11 +16,11 @@ fn library_reuses_artifacts_across_clusters() {
     a.t_stop = 1.5e-9;
     b.t_stop = 1.5e-9;
     b.bus = m4_bus(&b.tech, 2, 700.0, 8); // different geometry, same cells
-    let mut lib = NoiseModelLibrary::new();
+    let lib = NoiseModelLibrary::new();
     let opts = MacromodelOptions::default();
-    let _ma = ClusterMacromodel::build_with_library(&a, &opts, &mut lib).expect("a");
+    let _ma = ClusterMacromodel::build_with_library(&a, &opts, &lib).expect("a");
     let misses_after_first = lib.stats().misses;
-    let _mb = ClusterMacromodel::build_with_library(&b, &opts, &mut lib).expect("b");
+    let _mb = ClusterMacromodel::build_with_library(&b, &opts, &lib).expect("b");
     assert!(
         lib.stats().hits >= 2,
         "second cluster should hit the cache: {:?}",
@@ -41,10 +41,9 @@ fn library_path_matches_direct_path() {
     spec.bus.segments = 8;
     spec.t_stop = 1.5e-9;
     let direct = ClusterMacromodel::build(&spec).expect("direct");
-    let mut lib = NoiseModelLibrary::new();
-    let cached =
-        ClusterMacromodel::build_with_library(&spec, &MacromodelOptions::default(), &mut lib)
-            .expect("cached");
+    let lib = NoiseModelLibrary::new();
+    let cached = ClusterMacromodel::build_with_library(&spec, &MacromodelOptions::default(), &lib)
+        .expect("cached");
     // Load curve identical (exact reuse).
     assert_eq!(direct.load_curve.table, cached.load_curve.table);
     assert_eq!(direct.r_hold, cached.r_hold);
@@ -77,13 +76,13 @@ fn library_speeds_up_repeated_builds() {
     let mut spec = table1_spec();
     spec.bus.segments = 8;
     spec.t_stop = 1.5e-9;
-    let mut lib = NoiseModelLibrary::new();
+    let lib = NoiseModelLibrary::new();
     let opts = MacromodelOptions::default();
     let t0 = Instant::now();
-    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &mut lib).expect("cold");
+    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &lib).expect("cold");
     let cold = t0.elapsed();
     let t0 = Instant::now();
-    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &mut lib).expect("warm");
+    let _ = ClusterMacromodel::build_with_library(&spec, &opts, &lib).expect("warm");
     let warm = t0.elapsed();
     assert!(
         warm < cold / 2,

@@ -44,17 +44,25 @@ fn worst_case_alignment_never_improves_margin() {
         &[100e-12, 300e-12, 900e-12],
     )
     .expect("nrc");
-    let nominal = run_sna(&design, &nrc, &SnaOptions::default()).expect("nominal");
+    // Strict mode: a cluster failing in either pass must abort the test,
+    // not silently drop out and misalign the pairwise comparison below.
+    let strict = SnaOptions {
+        strict: true,
+        ..Default::default()
+    };
+    let nominal = run_sna(&design, &nrc, &strict).expect("nominal");
     let worst = run_sna(
         &design,
         &nrc,
         &SnaOptions {
             align_worst_case: true,
-            ..Default::default()
+            ..strict
         },
     )
     .expect("worst-case");
+    assert_eq!(nominal.findings.len(), worst.findings.len());
     for (n, w) in nominal.findings.iter().zip(&worst.findings) {
+        assert_eq!(n.name, w.name, "pairwise comparison must match by net");
         assert!(
             w.margin <= n.margin + 0.02,
             "{}: worst-case margin {:.3} > nominal {:.3}",
