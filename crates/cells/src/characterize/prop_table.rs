@@ -9,7 +9,8 @@
 use serde::{Deserialize, Serialize};
 use sna_spice::devices::{SourceWaveform, Table2d};
 use sna_spice::error::{Error, Result};
-use sna_spice::tran::{transient, TranParams};
+use sna_spice::solver::SolverKind;
+use sna_spice::tran::{transient_with, TranParams, TranWorkspace};
 use sna_spice::waveform::Waveform;
 
 use crate::cell::{Cell, DriverMode};
@@ -136,6 +137,9 @@ pub fn characterize_propagated_noise(
     let mut width50 = Vec::with_capacity(peak.capacity());
     let mut area = Vec::with_capacity(peak.capacity());
     let mut delay = Vec::with_capacity(peak.capacity());
+    // One workspace for the whole grid: MNA assembly and solver setup are
+    // paid once, each grid point only swaps the glitch source waveform.
+    let mut ws = TranWorkspace::new(&fx.ckt, SolverKind::Auto)?;
     for &h in heights {
         for &w in widths {
             let t_start = 50e-12;
@@ -149,7 +153,7 @@ pub fn characterize_propagated_noise(
             fx.ckt.set_source_wave(&fx.noisy_source, glitch)?;
             let horizon = t_start + 3.0 * w + 1.5e-9;
             let dt = (w / 200.0).clamp(0.25e-12, 2e-12);
-            let res = transient(&fx.ckt, &TranParams::new(horizon, dt))?;
+            let res = transient_with(&fx.ckt, &TranParams::new(horizon, dt), &mut ws)?;
             let wave = res.node_waveform(fx.out);
             let m = wave.glitch_metrics(mode.output_level);
             peak.push(m.peak);

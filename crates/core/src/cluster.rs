@@ -26,11 +26,12 @@ use sna_interconnect::CoupledBus;
 
 use crate::library::NoiseModelLibrary;
 use sna_mor::{
-    port_admittance_moments, prima_reduce, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
+    port_admittance_moments, prima_reduce_with, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
 };
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::Circuit;
+use sna_spice::solver::SolverKind;
 use sna_spice::units::PS;
 
 /// A triangular noise glitch arriving at the victim driver's input
@@ -169,6 +170,9 @@ pub struct MacromodelOptions {
     pub reduction_order: usize,
     /// Expansion point of the reduction (rad/s).
     pub expansion_point: f64,
+    /// Linear-solver backend for the reduction's shifted-system solves
+    /// (dense, sparse, or dimension-based auto selection).
+    pub solver: SolverKind,
 }
 
 impl Default for MacromodelOptions {
@@ -177,6 +181,7 @@ impl Default for MacromodelOptions {
             include_driver_caps: true,
             reduction_order: DEFAULT_Q,
             expansion_point: DEFAULT_S0,
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -383,11 +388,12 @@ impl ClusterMacromodel {
         }
         ports.push(wires[0].far);
         port_roles.push(PortRole::VictimReceiver);
-        let reduced = prima_reduce(
+        let reduced = prima_reduce_with(
             &net,
             &ports,
             options.reduction_order,
             options.expansion_point,
+            options.solver,
         )?;
         // --- Victim input waveform.
         let q_in = spec.victim.mode.input_levels[spec.victim.mode.noisy_input];

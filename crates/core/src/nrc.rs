@@ -18,7 +18,8 @@ use sna_cells::Cell;
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::Circuit;
-use sna_spice::tran::{transient, TranParams};
+use sna_spice::solver::SolverKind;
+use sna_spice::tran::{transient_with, TranParams, TranWorkspace};
 use sna_spice::waveform::GlitchMetrics;
 
 /// A characterized noise rejection curve for one receiver cell and input
@@ -102,9 +103,16 @@ pub fn characterize_nrc(
         2.0 * receiver.input_capacitance(),
     )?;
     let half = 0.5 * vdd;
+    // One workspace for the whole bisection grid: every probe reuses the
+    // assembled MNA system and solver state, only the glitch source
+    // waveform changes between transients.
+    let mut ws = TranWorkspace::new(&fx.ckt, SolverKind::Auto)?;
     let mut fail_heights = Vec::with_capacity(widths.len());
     for &w in widths {
-        let fails_at = |h: f64, fx: &mut sna_cells::characterize::DriverFixture| -> Result<bool> {
+        let fails_at = |h: f64,
+                        fx: &mut sna_cells::characterize::DriverFixture,
+                        ws: &mut TranWorkspace|
+         -> Result<bool> {
             let t_start = 50e-12;
             fx.ckt.set_source_wave(
                 &fx.noisy_source,
@@ -118,7 +126,7 @@ pub fn characterize_nrc(
             )?;
             let horizon = t_start + 2.5 * w + 1.0e-9;
             let dt = (w / 150.0).clamp(0.5e-12, 2e-12);
-            let res = transient(&fx.ckt, &TranParams::new(horizon, dt))?;
+            let res = transient_with(&fx.ckt, &TranParams::new(horizon, dt), ws)?;
             let out = res.node_waveform(fx.out);
             let crossed = if q_out > half {
                 out.min_value() < half
@@ -130,14 +138,14 @@ pub fn characterize_nrc(
         // Bisection over height.
         let mut lo = 0.05 * vdd;
         let mut hi = 1.5 * vdd;
-        if !fails_at(hi, &mut fx)? {
+        if !fails_at(hi, &mut fx, &mut ws)? {
             // Even a rail-and-a-half glitch does not upset: record the cap.
             fail_heights.push(hi);
             continue;
         }
         for _ in 0..12 {
             let mid = 0.5 * (lo + hi);
-            if fails_at(mid, &mut fx)? {
+            if fails_at(mid, &mut fx, &mut ws)? {
                 hi = mid;
             } else {
                 lo = mid;

@@ -6,6 +6,7 @@
 //! tested; the binary is a thin `main`.
 
 use sna_cells::Technology;
+use sna_spice::solver::SolverKind;
 use sna_spice::units::PS;
 
 use crate::corners::{corner_by_name, run_corners};
@@ -42,6 +43,9 @@ pub struct CliConfig {
     pub strict: bool,
     /// Report format.
     pub format: Format,
+    /// Linear-solver backend for the interconnect-reduction (PRIMA)
+    /// solves. Characterization transients auto-select by dimension.
+    pub solver: SolverKind,
 }
 
 impl Default for CliConfig {
@@ -55,6 +59,7 @@ impl Default for CliConfig {
             guard_band: 0.1,
             strict: false,
             format: Format::Text,
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -77,6 +82,10 @@ OPTIONS:
     --strict              abort on the first per-cluster failure instead of
                           downgrading it to a skipped-net diagnostic
     --format <F>          text | json | csv                   [default: text]
+    --solver <S>          auto | dense | sparse               [default: auto]
+                          linear-solver backend for the interconnect-
+                          reduction (PRIMA) solves; characterization
+                          transients always auto-select by dimension
     --help                print this help
 
 The report (stdout) is a pure function of the design and options: a run at
@@ -130,6 +139,15 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     other => return Err(format!("unknown format '{other}'")),
                 };
             }
+            "--solver" => {
+                let raw: String = parse_value(arg, it.next())?;
+                cfg.solver = match raw.as_str() {
+                    "auto" => SolverKind::Auto,
+                    "dense" => SolverKind::Dense,
+                    "sparse" => SolverKind::Sparse,
+                    other => return Err(format!("unknown solver '{other}'")),
+                };
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -159,7 +177,10 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
             margin_band: cfg.guard_band,
             strict: cfg.strict,
         },
-        mm: Default::default(),
+        mm: sna_core::cluster::MacromodelOptions {
+            solver: cfg.solver,
+            ..Default::default()
+        },
         threads: cfg.threads,
     };
     let started = std::time::Instant::now();
@@ -233,6 +254,22 @@ mod tests {
         assert_eq!(cfg.guard_band, 0.05);
         assert!(cfg.strict);
         assert_eq!(cfg.format, Format::Json);
+        assert_eq!(cfg.solver, SolverKind::Auto);
+    }
+
+    #[test]
+    fn solver_flag_parses_all_backends() {
+        for (raw, want) in [
+            ("auto", SolverKind::Auto),
+            ("dense", SolverKind::Dense),
+            ("sparse", SolverKind::Sparse),
+        ] {
+            let cfg = parse_args(&args(&["--solver", raw])).unwrap();
+            assert_eq!(cfg.solver, want);
+        }
+        assert!(parse_args(&args(&["--solver", "magic"]))
+            .unwrap_err()
+            .contains("unknown solver"));
     }
 
     #[test]

@@ -39,12 +39,12 @@ pub mod prima;
 pub use coupled_pi::CoupledPiModel;
 pub use moments::port_admittance_moments;
 pub use pi_model::{pi_from_network, PiModel};
-pub use prima::{prima_reduce, ReducedSystem, DEFAULT_Q, DEFAULT_S0};
+pub use prima::{prima_reduce, prima_reduce_with, ReducedSystem, DEFAULT_Q, DEFAULT_S0};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::coupled_pi::CoupledPiModel;
     pub use crate::moments::port_admittance_moments;
     pub use crate::pi_model::{pi_from_network, PiModel};
-    pub use crate::prima::{prima_reduce, ReducedSystem, DEFAULT_Q, DEFAULT_S0};
+    pub use crate::prima::{prima_reduce, prima_reduce_with, ReducedSystem, DEFAULT_Q, DEFAULT_S0};
 }

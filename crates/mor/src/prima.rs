@@ -11,9 +11,52 @@
 
 use serde::{Deserialize, Serialize};
 use sna_spice::error::{Error, Result};
-use sna_spice::linalg::DenseMatrix;
+use sna_spice::linalg::{DenseMatrix, LuFactors};
 use sna_spice::mna::MnaSystem;
 use sna_spice::netlist::{Circuit, NodeId};
+use sna_spice::solver::SolverKind;
+use sna_spice::sparse::{SparseLu, SparseMatrix, Symbolic};
+
+/// Factorization of the shifted system `(G + s₀·C)`, on whichever backend
+/// [`SolverKind`] resolves to: the block-Arnoldi recursion solves against
+/// it `q × p` times plus once per deflation retry, so segmented-bus
+/// reductions (hundreds of unknowns, tridiagonal-plus-coupling pattern)
+/// gain the full sparse-factor advantage.
+enum ShiftedFactor {
+    Dense(LuFactors),
+    Sparse {
+        lu: Box<SparseLu>,
+        x: Vec<f64>,
+        work: Vec<f64>,
+    },
+}
+
+impl ShiftedFactor {
+    fn build(shifted: &DenseMatrix, kind: SolverKind) -> Result<Self> {
+        let n = shifted.n_rows();
+        if kind.is_sparse_for(n) {
+            let sp = SparseMatrix::from_dense(shifted);
+            let sym = Symbolic::analyze(&sp);
+            Ok(ShiftedFactor::Sparse {
+                lu: Box::new(SparseLu::factor(&sp, &sym)?),
+                x: vec![0.0; n],
+                work: vec![0.0; n],
+            })
+        } else {
+            Ok(ShiftedFactor::Dense(shifted.lu()?))
+        }
+    }
+
+    fn solve(&mut self, b: &[f64]) -> Vec<f64> {
+        match self {
+            ShiftedFactor::Dense(lu) => lu.solve(b),
+            ShiftedFactor::Sparse { lu, x, work } => {
+                lu.solve_into(b, x, work);
+                x.clone()
+            }
+        }
+    }
+}
 
 /// Reduced multiport RC system `Ĉ·ẋ + Ĝ·x = B̂·u`, `y = B̂ᵀ·x`, where `u`
 /// are port current injections and `y` the port voltages.
@@ -130,6 +173,22 @@ pub fn prima_reduce(
     q: usize,
     s0: f64,
 ) -> Result<ReducedSystem> {
+    prima_reduce_with(circuit, ports, q, s0, SolverKind::Auto)
+}
+
+/// [`prima_reduce`] with an explicit linear-solver selection for the
+/// shifted-system factorization (dense, sparse, or dimension-based auto).
+///
+/// # Errors
+///
+/// As [`prima_reduce`].
+pub fn prima_reduce_with(
+    circuit: &Circuit,
+    ports: &[NodeId],
+    q: usize,
+    s0: f64,
+    solver: SolverKind,
+) -> Result<ReducedSystem> {
     if ports.is_empty() || q == 0 {
         return Err(Error::InvalidAnalysis(
             "prima needs at least one port and one moment block".into(),
@@ -165,7 +224,7 @@ pub fn prima_reduce(
     let mut shifted = DenseMatrix::zeros(n, n);
     shifted.axpy(1.0, mna.g_matrix());
     shifted.axpy(s0, mna.c_matrix());
-    let lu = shifted.lu()?;
+    let mut lu = ShiftedFactor::build(&shifted, solver)?;
     // Block Arnoldi with modified Gram-Schmidt.
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(q * p);
     let mut block: Vec<Vec<f64>> = (0..p)

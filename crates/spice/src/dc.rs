@@ -9,9 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
-use crate::linalg::DenseMatrix;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::solver::{SolverKind, SystemSolver};
 
 /// Newton iteration controls shared by DC and transient analyses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,6 +28,9 @@ pub struct NewtonOptions {
     /// down (damping). Critical for MOSFET circuits started far from the
     /// solution.
     pub max_step: f64,
+    /// Linear-solver backend for the DC system (the escape hatch over the
+    /// dimension-based auto selection).
+    pub solver: SolverKind,
 }
 
 impl Default for NewtonOptions {
@@ -38,6 +41,7 @@ impl Default for NewtonOptions {
             reltol: 1e-4,
             abstol: 1e-9,
             max_step: 0.3,
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -78,11 +82,14 @@ impl DcSolution {
 }
 
 /// Solve one Newton problem: `(G + extra_gmin·I)x + f(x) = b`, warm-started
-/// at `x0`. Returns `(x, iterations)`.
+/// at `x0`. Returns `(x, iterations)`. The caller-owned `solver` carries
+/// the factorization state across continuation stages, so the (sparse)
+/// symbolic analysis is paid once per operating-point call.
 #[allow(clippy::too_many_arguments)] // internal solver: explicit state beats a bag struct
 fn newton_solve(
     circuit: &Circuit,
     mna: &MnaSystem,
+    solver: &mut SystemSolver,
     b: &[f64],
     x0: &[f64],
     opts: &NewtonOptions,
@@ -95,30 +102,34 @@ fn newton_solve(
     let mut x = x0.to_vec();
     // Purely linear circuits: one direct solve.
     if !mna.has_nonlinear() && extra_gmin == 0.0 {
-        let x = mna.g_matrix().lu()?.solve(b);
+        solver.factor_base()?;
+        solver.solve_into(b, &mut x);
         return Ok((x, 1));
     }
-    let mut jac = DenseMatrix::zeros(dim, dim);
     let mut residual = vec![0.0; dim];
+    let mut neg_res = vec![0.0; dim];
+    let mut dx = vec![0.0; dim];
     for it in 0..opts.max_iter {
         // residual = G x + f(x) - b ; jac = G + df/dx (+ gmin).
-        jac.clear();
-        jac.axpy(1.0, mna.g_matrix());
+        solver.begin_jacobian();
         for i in 0..n_nodes {
-            jac.add(i, i, extra_gmin);
+            solver.jac_add(i, i, extra_gmin);
         }
-        let gx = mna.g_matrix().mul_vec(&x);
-        for i in 0..dim {
-            residual[i] = gx[i] - b[i];
+        solver.g_mul_into(&x, &mut residual);
+        for (r, bv) in residual.iter_mut().zip(b) {
+            *r -= bv;
         }
         for (i, r) in residual.iter_mut().enumerate().take(n_nodes) {
             *r += extra_gmin * x[i];
         }
-        mna.stamp_nonlinear(circuit, &x, &mut residual, Some(&mut jac));
+        mna.stamp_nonlinear(circuit, &x, &mut residual, Some(solver.jac_stamp()));
         let max_res = residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
         // Newton step: J dx = -residual.
-        let neg_res: Vec<f64> = residual.iter().map(|&r| -r).collect();
-        let dx = jac.lu()?.solve(&neg_res);
+        for (n, &r) in neg_res.iter_mut().zip(residual.iter()) {
+            *n = -r;
+        }
+        solver.factor_jacobian()?;
+        solver.solve_into(&neg_res, &mut dx);
         // Damping.
         let max_dx = dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
         let scale = if max_dx > opts.max_step {
@@ -139,8 +150,10 @@ fn newton_solve(
         }
     }
     // Final residual for the error report.
-    let gx = mna.g_matrix().mul_vec(&x);
-    let mut residual: Vec<f64> = gx.iter().zip(b).map(|(g, b)| g - b).collect();
+    solver.g_mul_into(&x, &mut residual);
+    for (r, bv) in residual.iter_mut().zip(b) {
+        *r -= bv;
+    }
     mna.stamp_nonlinear(circuit, &x, &mut residual, None);
     let max_res = residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
     Err(Error::NonConvergence {
@@ -174,18 +187,42 @@ pub fn dc_operating_point(
     warm_start: Option<&[f64]>,
 ) -> Result<DcSolution> {
     let mna = MnaSystem::new(circuit)?;
+    // One solver for the whole continuation ladder: the (sparse) symbolic
+    // analysis and pattern allocation happen once, every Newton iteration
+    // afterwards is a numeric refactor.
+    let mut solver = SystemSolver::new(&mna, circuit, opts.solver);
+    dc_operating_point_with(circuit, opts, warm_start, &mna, &mut solver)
+}
+
+/// [`dc_operating_point`] on a caller-owned MNA system and solver — the
+/// path for workspaces (e.g. [`crate::tran::TranWorkspace`]) that already
+/// paid matrix assembly and symbolic analysis for this circuit. The
+/// solver's α is reset to 0 (`G`-only) on entry; the caller re-applies its
+/// own α afterwards.
+///
+/// # Errors
+///
+/// As [`dc_operating_point`].
+pub fn dc_operating_point_with(
+    circuit: &Circuit,
+    opts: &NewtonOptions,
+    warm_start: Option<&[f64]>,
+    mna: &MnaSystem,
+    solver: &mut SystemSolver,
+) -> Result<DcSolution> {
     let dim = mna.dim();
+    solver.set_alpha(0.0);
     let b = mna.rhs(circuit, 0.0, 1.0);
     let x0: Vec<f64> = match warm_start {
         Some(w) if w.len() == dim => w.to_vec(),
         _ => vec![0.0; dim],
     };
     // 1. Plain Newton.
-    if let Ok((x, iterations)) = newton_solve(circuit, &mna, &b, &x0, opts, 0.0, "dc", 0.0) {
+    if let Ok((x, iterations)) = newton_solve(circuit, mna, solver, &b, &x0, opts, 0.0, "dc", 0.0) {
         return Ok(DcSolution {
             x,
             n_nodes: mna.n_nodes(),
-            vsource_names: vsource_names(circuit, &mna),
+            vsource_names: vsource_names(circuit, mna),
             iterations,
         });
     }
@@ -195,7 +232,7 @@ pub fn dc_operating_point(
     let mut gmin = 1e-2;
     let mut ok = true;
     while gmin > 1e-13 {
-        match newton_solve(circuit, &mna, &b, &x, opts, gmin, "dc-gmin", 0.0) {
+        match newton_solve(circuit, mna, solver, &b, &x, opts, gmin, "dc-gmin", 0.0) {
             Ok((xs, it)) => {
                 x = xs;
                 total_iters += it;
@@ -208,11 +245,11 @@ pub fn dc_operating_point(
         gmin *= 0.1;
     }
     if ok {
-        if let Ok((x, it)) = newton_solve(circuit, &mna, &b, &x, opts, 0.0, "dc-gmin", 0.0) {
+        if let Ok((x, it)) = newton_solve(circuit, mna, solver, &b, &x, opts, 0.0, "dc-gmin", 0.0) {
             return Ok(DcSolution {
                 x,
                 n_nodes: mna.n_nodes(),
-                vsource_names: vsource_names(circuit, &mna),
+                vsource_names: vsource_names(circuit, mna),
                 iterations: total_iters + it,
             });
         }
@@ -221,17 +258,18 @@ pub fn dc_operating_point(
     let mut x = vec![0.0; dim];
     let mut total_iters = 0;
     let steps = 20;
+    let mut bk = vec![0.0; dim];
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        let bk = mna.rhs(circuit, 0.0, scale);
-        let (xs, it) = newton_solve(circuit, &mna, &bk, &x, opts, 0.0, "dc-srcstep", 0.0)?;
+        mna.rhs_into(circuit, 0.0, scale, &mut bk);
+        let (xs, it) = newton_solve(circuit, mna, solver, &bk, &x, opts, 0.0, "dc-srcstep", 0.0)?;
         x = xs;
         total_iters += it;
     }
     Ok(DcSolution {
         x,
         n_nodes: mna.n_nodes(),
-        vsource_names: vsource_names(circuit, &mna),
+        vsource_names: vsource_names(circuit, mna),
         iterations: total_iters,
     })
 }

@@ -20,6 +20,10 @@
 //! * [`waveform`] — sampled waveforms and glitch metrics (peak/width/area).
 //! * [`parser`] — SPICE-deck subset reader/writer.
 //! * [`linalg`] — dense LU with partial pivoting.
+//! * [`sparse`] — CSC matrices, fill-reducing ordering, and a KLU-style
+//!   symbolic/numeric LU split (cold factor once, refactor per iteration).
+//! * [`solver`] — dense/sparse backend selection ([`solver::SolverKind`])
+//!   shared by every repeated solve in the workspace.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,8 @@ pub mod linalg;
 pub mod mna;
 pub mod netlist;
 pub mod parser;
+pub mod solver;
+pub mod sparse;
 pub mod tran;
 pub mod units;
 pub mod waveform;
@@ -61,17 +67,21 @@ pub use error::{Error, Result};
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
     pub use crate::dc::{
-        dc_input_conductance, dc_operating_point, dc_sweep, DcSolution, NewtonOptions,
+        dc_input_conductance, dc_operating_point, dc_operating_point_with, dc_sweep, DcSolution,
+        NewtonOptions,
     };
     pub use crate::devices::{
         linspace, MosPolarity, MosfetModel, SourceWaveform, Table2d, TableEval,
     };
     pub use crate::error::{Error, Result};
-    pub use crate::linalg::DenseMatrix;
+    pub use crate::linalg::{DenseMatrix, MatrixStamp};
     pub use crate::netlist::{Circuit, Element, ElementId, NodeId};
     pub use crate::parser::{parse_deck, write_deck, ParsedDeck};
+    pub use crate::solver::{SolverKind, SystemSolver, SPARSE_AUTO_THRESHOLD};
+    pub use crate::sparse::{SparseLu, SparseMatrix, Symbolic};
     pub use crate::tran::{
-        transient, transient_adaptive, AdaptiveOptions, Integrator, TranParams, TranResult,
+        transient, transient_adaptive, transient_adaptive_with, transient_with, AdaptiveOptions,
+        Integrator, TranParams, TranResult, TranWorkspace,
     };
     pub use crate::units::*;
     pub use crate::waveform::{GlitchError, GlitchMetrics, Waveform};

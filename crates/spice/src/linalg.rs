@@ -12,6 +12,49 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 
+/// The fundamental MNA "stamp" sink: anything that can accumulate
+/// `(row, col) += value` contributions. Implemented by [`DenseMatrix`], by
+/// the sparse matrix type, and by [`PatternCollector`] (which records the
+/// touched positions instead of values — used to pre-size sparse patterns).
+pub trait MatrixStamp {
+    /// Add `v` to entry `(i, j)`.
+    fn add(&mut self, i: usize, j: usize, v: f64);
+}
+
+/// A [`MatrixStamp`] that records *which* entries are touched, discarding
+/// the values. Device models stamp a fixed set of positions regardless of
+/// the operating point, so one collection pass at any state yields the
+/// complete non-linear Jacobian pattern.
+#[derive(Debug, Clone, Default)]
+pub struct PatternCollector {
+    entries: Vec<(usize, usize)>,
+}
+
+impl PatternCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded `(row, col)` positions, in stamp order (may repeat).
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+}
+
+impl MatrixStamp for PatternCollector {
+    fn add(&mut self, i: usize, j: usize, _v: f64) {
+        self.entries.push((i, j));
+    }
+}
+
+impl MatrixStamp for DenseMatrix {
+    #[inline]
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        DenseMatrix::add(self, i, j, v);
+    }
+}
+
 /// Row-major dense matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DenseMatrix {
@@ -87,8 +130,19 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != n_cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n_cols);
         let mut y = vec![0.0; self.n_rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free matrix-vector product: `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
         for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
             let mut acc = 0.0;
@@ -97,7 +151,17 @@ impl DenseMatrix {
             }
             *yi = acc;
         }
-        y
+    }
+
+    /// Overwrite this matrix with `other`'s contents without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.n_rows, other.n_rows);
+        assert_eq!(self.n_cols, other.n_cols);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Matrix-matrix product `A·B`.
@@ -202,10 +266,41 @@ pub struct LuFactors {
 }
 
 impl LuFactors {
-    fn new(mut a: DenseMatrix) -> Result<Self> {
+    fn new(a: DenseMatrix) -> Result<Self> {
         assert_eq!(a.n_rows, a.n_cols, "LU requires a square matrix");
         let n = a.n_rows;
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut f = Self {
+            lu: a,
+            perm: (0..n).collect(),
+        };
+        f.eliminate()?;
+        Ok(f)
+    }
+
+    /// Re-factor `a` (same dimensions) into the existing buffers — the
+    /// allocation-free path used by Newton loops that re-assemble the
+    /// Jacobian every iteration. Full partial pivoting is redone, so the
+    /// result is identical to a fresh [`DenseMatrix::lu`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SingularMatrix`] if a pivot column is numerically zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn refactor(&mut self, a: &DenseMatrix) -> Result<()> {
+        self.lu.copy_from(a);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.eliminate()
+    }
+
+    fn eliminate(&mut self) -> Result<()> {
+        let a = &mut self.lu;
+        let perm = &mut self.perm;
+        let n = a.n_rows;
         for k in 0..n {
             // Partial pivot: largest |a[i][k]| for i >= k.
             let mut p = k;
@@ -240,7 +335,7 @@ impl LuFactors {
                 }
             }
         }
-        Ok(Self { lu: a, perm })
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -254,10 +349,25 @@ impl LuFactors {
     ///
     /// Panics if `b.len()` differs from the system dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Allocation-free solve: writes the solution of `A·x = b` into `x`
+    /// (which doubles as the substitution workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differs from the system dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         let n = self.n();
         assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
         // Apply permutation.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = b[self.perm[i]];
+        }
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
@@ -274,7 +384,6 @@ impl LuFactors {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        x
     }
 }
 

@@ -9,7 +9,7 @@
 //! Jacobian entries per Newton iteration via [`MnaSystem::stamp_nonlinear`].
 
 use crate::error::{Error, Result};
-use crate::linalg::DenseMatrix;
+use crate::linalg::{DenseMatrix, MatrixStamp};
 use crate::netlist::{Circuit, Element, ElementId, NodeId};
 
 /// Minimum conductance tied from every node to ground; keeps otherwise
@@ -206,9 +206,23 @@ impl MnaSystem {
     /// scaled by `scale` (used by source stepping; normally `1.0`).
     pub fn rhs(&self, circuit: &Circuit, t: f64, scale: f64) -> Vec<f64> {
         let mut b = vec![0.0; self.dim];
+        self.rhs_into(circuit, t, scale, &mut b);
+        b
+    }
+
+    /// Allocation-free [`MnaSystem::rhs`]: overwrite `out` with the
+    /// right-hand side at time `t`. This is the variant the transient
+    /// stepping loops call once per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim()`.
+    pub fn rhs_into(&self, circuit: &Circuit, t: f64, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim);
+        out.fill(0.0);
         for (k, id) in self.vsources.iter().enumerate() {
             if let Element::VSource { wave, .. } = circuit.element(*id) {
-                b[self.n_nodes + k] = scale * wave.eval(t);
+                out[self.n_nodes + k] = scale * wave.eval(t);
             }
         }
         for id in &self.isources {
@@ -217,26 +231,28 @@ impl MnaSystem {
                 // Current leaves `pos` (so it subtracts from the KCL
                 // injection at pos) and enters `neg`.
                 if let Some(p) = self.node_unknown(*pos) {
-                    b[p] -= i;
+                    out[p] -= i;
                 }
                 if let Some(n) = self.node_unknown(*neg) {
-                    b[n] += i;
+                    out[n] += i;
                 }
             }
         }
-        b
     }
 
     /// Add non-linear device currents to `residual` (KCL convention:
     /// current *leaving* a node through a device adds positively, matching
     /// `G·x` on the linear side) and, when `jac` is given, their
-    /// conductances into the Jacobian.
+    /// conductances into the Jacobian — any [`MatrixStamp`] sink works:
+    /// dense, sparse, or a pattern collector. The set of stamped positions
+    /// is independent of `x`, which is what lets the sparse solver size
+    /// its pattern from a single collection pass.
     pub fn stamp_nonlinear(
         &self,
         circuit: &Circuit,
         x: &[f64],
         residual: &mut [f64],
-        mut jac: Option<&mut DenseMatrix>,
+        mut jac: Option<&mut dyn MatrixStamp>,
     ) {
         for id in &self.nonlinear {
             match circuit.element(*id) {

@@ -7,14 +7,22 @@
 //! baseline) are factored exactly once and back-substituted per step —
 //! this asymmetry is part of why macromodel-based noise analysis is fast.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
-use crate::dc::{dc_operating_point, NewtonOptions};
+use crate::dc::{dc_operating_point_with, NewtonOptions};
 use crate::error::{Error, Result};
-use crate::linalg::DenseMatrix;
 use crate::mna::MnaSystem;
-use crate::netlist::{Circuit, NodeId};
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::solver::{OwnedFactor, SolverKind, SystemSolver};
 use crate::waveform::Waveform;
+
+/// Upper bound on cached per-step-size factorizations in a
+/// [`TranWorkspace`]; reaching it clears the cache (refactoring a handful
+/// of h values is far cheaper than unbounded factor memory on a workspace
+/// reused across many adaptive runs).
+const LU_CACHE_MAX: usize = 64;
 
 /// Implicit integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +47,9 @@ pub struct TranParams {
     /// Use the DC operating point as the initial condition (default);
     /// when `false`, start from all-zeros (uic).
     pub dc_init: bool,
+    /// Linear-solver backend for the step systems (the escape hatch over
+    /// the dimension-based auto selection).
+    pub solver: SolverKind,
 }
 
 impl TranParams {
@@ -50,6 +61,7 @@ impl TranParams {
             method: Integrator::Trapezoidal,
             newton: NewtonOptions::default(),
             dc_init: true,
+            solver: SolverKind::Auto,
         }
     }
 }
@@ -130,6 +142,174 @@ impl TranResult {
     }
 }
 
+/// Reusable per-topology transient state: the assembled [`MnaSystem`], the
+/// (dense or sparse) [`SystemSolver`] with its symbolic analysis, the
+/// per-step-size factor cache of the adaptive controller, and every scratch
+/// vector the stepping loops need. Building one per call is what
+/// [`transient`] does; characterization sweeps that re-simulate the same
+/// topology with different source waveforms should build it once and call
+/// [`transient_with`] / [`transient_adaptive_with`] so matrix assembly and
+/// symbolic analysis are paid once per topology, and the inner loops run
+/// allocation-free.
+///
+/// Only **source waveforms** may change between runs on one workspace: the
+/// G/C matrices and cached factorizations are assembled at construction,
+/// so any other edit — element values, device sizes, added/removed
+/// elements or nodes — requires a fresh workspace (and is rejected by a
+/// fingerprint check).
+pub struct TranWorkspace {
+    mna: MnaSystem,
+    kind: SolverKind,
+    solver: SystemSolver,
+    /// Per-step-size factor cache for linear circuits (adaptive stepping
+    /// alternates h and h/2 constantly).
+    lu_cache: HashMap<u64, OwnedFactor>,
+    // Step buffers, all of MNA dimension.
+    b_prev: Vec<f64>,
+    b_cur: Vec<f64>,
+    rhs: Vec<f64>,
+    scratch: Vec<f64>,
+    residual: Vec<f64>,
+    neg: Vec<f64>,
+    dx: Vec<f64>,
+    f_prev: Vec<f64>,
+    solve_work: Vec<f64>,
+    // Circuit fingerprint guarding workspace reuse.
+    node_count: usize,
+    element_count: usize,
+    value_hash: u64,
+}
+
+/// Order-sensitive FNV-1a hash of every stamped element value *and* every
+/// terminal wiring (source waveforms excluded — those are the one thing a
+/// workspace re-run may legitimately change).
+fn circuit_value_hash(circuit: &Circuit) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    let n = |id: &NodeId| if id.is_ground() { 0 } else { id.index() as u64 };
+    for el in circuit.elements() {
+        match el {
+            Element::Resistor { a, b, ohms, .. } => {
+                mix(1 ^ ohms.to_bits());
+                mix(n(a) | n(b) << 32);
+            }
+            Element::Capacitor { a, b, farads, .. } => {
+                mix(2 ^ farads.to_bits());
+                mix(n(a) | n(b) << 32);
+            }
+            // Waveform values excluded by design; the wiring still counts.
+            Element::VSource { pos, neg, .. } => mix(3 ^ (n(pos) | n(neg) << 32)),
+            Element::ISource { pos, neg, .. } => mix(4 ^ (n(pos) | n(neg) << 32)),
+            Element::LinearVccs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                gm,
+                ..
+            } => {
+                mix(5 ^ gm.to_bits());
+                mix(n(out_p) | n(out_n) << 16 | n(ctrl_p) << 32 | n(ctrl_n) << 48);
+            }
+            // The table itself is assumed immutable (no mutator exposes
+            // it); fingerprint its footprint and wiring only.
+            Element::TableVccs {
+                out_p, out_n, ctrl, ..
+            } => mix(6 ^ (n(out_p) | n(out_n) << 16 | n(ctrl) << 32)),
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+                ..
+            } => {
+                mix(7 ^ w.to_bits() ^ l.to_bits().rotate_left(1));
+                mix(model.vt0.to_bits() ^ model.kp.to_bits().rotate_left(1));
+                mix(n(d) | n(g) << 16 | n(s) << 32 | n(b) << 48);
+            }
+        }
+    }
+    h
+}
+
+impl TranWorkspace {
+    /// Assemble the workspace for `circuit` with the given solver
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit validation failures.
+    pub fn new(circuit: &Circuit, kind: SolverKind) -> Result<Self> {
+        let mna = MnaSystem::new(circuit)?;
+        let solver = SystemSolver::new(&mna, circuit, kind);
+        let dim = mna.dim();
+        Ok(Self {
+            mna,
+            kind,
+            solver,
+            lu_cache: HashMap::new(),
+            b_prev: vec![0.0; dim],
+            b_cur: vec![0.0; dim],
+            rhs: vec![0.0; dim],
+            scratch: vec![0.0; dim],
+            residual: vec![0.0; dim],
+            neg: vec![0.0; dim],
+            dx: vec![0.0; dim],
+            f_prev: vec![0.0; dim],
+            solve_work: vec![0.0; dim],
+            node_count: circuit.node_count(),
+            element_count: circuit.elements().len(),
+            value_hash: circuit_value_hash(circuit),
+        })
+    }
+
+    /// Unknown count of the underlying MNA system.
+    pub fn dim(&self) -> usize {
+        self.mna.dim()
+    }
+
+    /// Whether the sparse backend was selected.
+    pub fn is_sparse(&self) -> bool {
+        self.solver.is_sparse()
+    }
+
+    /// Guard against reuse with a different circuit: only source waveforms
+    /// may change between runs. Topology edits *and* element-value edits
+    /// are rejected — the workspace's matrices and factor cache were
+    /// assembled from the construction-time values, so a changed value
+    /// would silently simulate the old circuit.
+    fn check(&self, circuit: &Circuit, kind: SolverKind) -> Result<()> {
+        if circuit.node_count() != self.node_count || circuit.elements().len() != self.element_count
+        {
+            return Err(Error::InvalidAnalysis(
+                "transient workspace built for a different circuit topology".into(),
+            ));
+        }
+        if circuit_value_hash(circuit) != self.value_hash {
+            return Err(Error::InvalidAnalysis(
+                "element values changed since the transient workspace was built; \
+                 only source waveforms may change between reuses"
+                    .into(),
+            ));
+        }
+        if kind != self.kind {
+            return Err(Error::InvalidAnalysis(
+                "transient workspace built with a different solver selection".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Run a transient analysis.
 ///
 /// # Errors
@@ -137,6 +317,21 @@ impl TranResult {
 /// Fails on invalid parameters, DC initialization failure, Newton
 /// non-convergence at some time step, or a singular system matrix.
 pub fn transient(circuit: &Circuit, params: &TranParams) -> Result<TranResult> {
+    let mut ws = TranWorkspace::new(circuit, params.solver)?;
+    transient_with(circuit, params, &mut ws)
+}
+
+/// [`transient`] reusing a caller-owned [`TranWorkspace`] (same circuit
+/// topology; source waveforms may differ between calls).
+///
+/// # Errors
+///
+/// As [`transient`], plus a workspace/topology mismatch.
+pub fn transient_with(
+    circuit: &Circuit,
+    params: &TranParams,
+    ws: &mut TranWorkspace,
+) -> Result<TranResult> {
     // `is_nan()` checks keep the rejection of NaN parameters explicit.
     if params.dt.is_nan()
         || params.dt <= 0.0
@@ -149,35 +344,48 @@ pub fn transient(circuit: &Circuit, params: &TranParams) -> Result<TranResult> {
             params.t_stop, params.dt
         )));
     }
-    let mna = MnaSystem::new(circuit)?;
-    let dim = mna.dim();
-    let n_nodes = mna.n_nodes();
+    ws.check(circuit, params.solver)?;
+    let dim = ws.mna.dim();
+    let n_nodes = ws.mna.n_nodes();
     let n_steps = (params.t_stop / params.dt).round() as usize;
 
-    // Initial condition.
+    // Initial condition. The DC solve follows the same solver selection.
     let mut x: Vec<f64> = if params.dc_init {
-        dc_operating_point(circuit, &params.newton, None)?
+        let mut newton = params.newton;
+        newton.solver = params.solver;
+        // Reuse the workspace's MNA system and solver: assembly and the
+        // sparse symbolic analysis are not repeated per call.
+        dc_operating_point_with(circuit, &newton, None, &ws.mna, &mut ws.solver)?
             .unknowns()
             .to_vec()
     } else {
         vec![0.0; dim]
     };
+    let mut x_next = vec![0.0; dim];
 
     let alpha = match params.method {
         Integrator::BackwardEuler => 1.0 / params.dt,
         Integrator::Trapezoidal => 2.0 / params.dt,
     };
-    // Geff = G + alpha*C (constant over the run).
-    let mut geff = DenseMatrix::zeros(dim, dim);
-    geff.axpy(1.0, mna.g_matrix());
-    geff.axpy(alpha, mna.c_matrix());
-    let linear = !mna.has_nonlinear();
-    let geff_lu = if linear { Some(geff.lu()?) } else { None };
+    // Geff = G + alpha*C (constant over the run); linear circuits factor
+    // it exactly once.
+    ws.solver.set_alpha(alpha);
+    let linear = !ws.mna.has_nonlinear();
+    if linear {
+        ws.solver.factor_base()?;
+    }
 
+    // NB: `vec![Vec::with_capacity(..); n]` would clone the template and
+    // cloning an empty Vec discards its capacity — every trace would then
+    // regrow by doubling, log2(n_steps) reallocations each.
     let mut times = Vec::with_capacity(n_steps + 1);
-    let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps + 1); n_nodes];
-    let n_vsrc = mna.vsources().len();
-    let mut branch_currents: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps + 1); n_vsrc];
+    let mut traces: Vec<Vec<f64>> = (0..n_nodes)
+        .map(|_| Vec::with_capacity(n_steps + 1))
+        .collect();
+    let n_vsrc = ws.mna.vsources().len();
+    let mut branch_currents: Vec<Vec<f64>> = (0..n_vsrc)
+        .map(|_| Vec::with_capacity(n_steps + 1))
+        .collect();
     let record = |x: &[f64],
                   t: f64,
                   times: &mut Vec<f64>,
@@ -193,74 +401,77 @@ pub fn transient(circuit: &Circuit, params: &TranParams) -> Result<TranResult> {
     };
     record(&x, 0.0, &mut times, &mut traces, &mut branch_currents);
 
-    let mut b_prev = mna.rhs(circuit, 0.0, 1.0);
+    ws.mna.rhs_into(circuit, 0.0, 1.0, &mut ws.b_prev);
     // Nonlinear residual at the previous accepted point (for trapezoidal).
-    let mut f_prev = vec![0.0; dim];
+    ws.f_prev.fill(0.0);
     if matches!(params.method, Integrator::Trapezoidal) {
-        mna.stamp_nonlinear(circuit, &x, &mut f_prev, None);
+        ws.mna.stamp_nonlinear(circuit, &x, &mut ws.f_prev, None);
     }
     let mut total_newton = 0usize;
-    let mut jac = DenseMatrix::zeros(dim, dim);
-    let mut residual = vec![0.0; dim];
 
     for step in 1..=n_steps {
         let t1 = step as f64 * params.dt;
-        let b1 = mna.rhs(circuit, t1, 1.0);
-        // Assemble step RHS.
-        let cx = mna.c_matrix().mul_vec(&x);
-        let mut rhs = vec![0.0; dim];
+        ws.mna.rhs_into(circuit, t1, 1.0, &mut ws.b_cur);
+        // Assemble step RHS into ws.rhs (scratch holds C·x, then G·x).
+        ws.solver.c_mul_into(&x, &mut ws.scratch);
         match params.method {
             Integrator::BackwardEuler => {
                 for i in 0..dim {
-                    rhs[i] = b1[i] + alpha * cx[i];
+                    ws.rhs[i] = ws.b_cur[i] + alpha * ws.scratch[i];
                 }
             }
             Integrator::Trapezoidal => {
-                let gx = mna.g_matrix().mul_vec(&x);
                 for i in 0..dim {
-                    rhs[i] = b1[i] + b_prev[i] - gx[i] - f_prev[i] + alpha * cx[i];
+                    ws.rhs[i] = ws.b_cur[i] + ws.b_prev[i] - ws.f_prev[i] + alpha * ws.scratch[i];
+                }
+                ws.solver.g_mul_into(&x, &mut ws.scratch);
+                for i in 0..dim {
+                    ws.rhs[i] -= ws.scratch[i];
                 }
             }
         }
         // Solve Geff x1 + f(x1) = rhs.
-        if let Some(lu) = &geff_lu {
-            x = lu.solve(&rhs);
+        if linear {
+            ws.solver.solve_into(&ws.rhs, &mut x_next);
+            std::mem::swap(&mut x, &mut x_next);
         } else {
             // Newton with warm start from previous time point.
             let mut converged = false;
-            for it in 0..params.newton.max_iter {
-                jac.clear();
-                jac.axpy(1.0, &geff);
-                let gx = geff.mul_vec(&x);
-                for i in 0..dim {
-                    residual[i] = gx[i] - rhs[i];
+            for _ in 0..params.newton.max_iter {
+                ws.solver.base_mul_into(&x, &mut ws.residual);
+                for (r, rhs) in ws.residual.iter_mut().zip(&ws.rhs) {
+                    *r -= rhs;
                 }
-                mna.stamp_nonlinear(circuit, &x, &mut residual, Some(&mut jac));
-                let neg: Vec<f64> = residual.iter().map(|&r| -r).collect();
-                let dx = jac.lu()?.solve(&neg);
-                let max_dx = dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+                ws.solver.begin_jacobian();
+                ws.mna
+                    .stamp_nonlinear(circuit, &x, &mut ws.residual, Some(ws.solver.jac_stamp()));
+                for (n, &r) in ws.neg.iter_mut().zip(ws.residual.iter()) {
+                    *n = -r;
+                }
+                ws.solver.factor_jacobian()?;
+                ws.solver.solve_into(&ws.neg, &mut ws.dx);
+                let max_dx = ws.dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
                 let scale = if max_dx > params.newton.max_step {
                     params.newton.max_step / max_dx
                 } else {
                     1.0
                 };
                 let mut done = true;
-                for i in 0..dim {
-                    let s = scale * dx[i];
-                    x[i] += s;
-                    if s.abs() > params.newton.reltol * x[i].abs() + params.newton.vntol {
+                for (xi, &di) in x.iter_mut().zip(ws.dx.iter()) {
+                    let s = scale * di;
+                    *xi += s;
+                    if s.abs() > params.newton.reltol * xi.abs() + params.newton.vntol {
                         done = false;
                     }
                 }
                 total_newton += 1;
                 if done && scale == 1.0 {
                     converged = true;
-                    let _ = it;
                     break;
                 }
             }
             if !converged {
-                let max_res = residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+                let max_res = ws.residual.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
                 return Err(Error::NonConvergence {
                     analysis: "tran",
                     iterations: params.newton.max_iter,
@@ -270,16 +481,17 @@ pub fn transient(circuit: &Circuit, params: &TranParams) -> Result<TranResult> {
             }
         }
         record(&x, t1, &mut times, &mut traces, &mut branch_currents);
-        b_prev = b1;
+        std::mem::swap(&mut ws.b_prev, &mut ws.b_cur);
         if matches!(params.method, Integrator::Trapezoidal) {
-            f_prev.iter_mut().for_each(|v| *v = 0.0);
-            mna.stamp_nonlinear(circuit, &x, &mut f_prev, None);
+            ws.f_prev.fill(0.0);
+            ws.mna.stamp_nonlinear(circuit, &x, &mut ws.f_prev, None);
         }
     }
     let node_names = (0..circuit.node_count())
         .map(|i| circuit.node_name(NodeId(i)).to_string())
         .collect();
-    let vsource_names = mna
+    let vsource_names = ws
+        .mna
         .vsources()
         .iter()
         .map(|id| circuit.element(*id).name().to_string())
@@ -311,6 +523,9 @@ pub struct AdaptiveOptions {
     pub newton: NewtonOptions,
     /// Start from the DC operating point (default true).
     pub dc_init: bool,
+    /// Linear-solver backend for the step systems (the escape hatch over
+    /// the dimension-based auto selection).
+    pub solver: SolverKind,
 }
 
 impl AdaptiveOptions {
@@ -324,75 +539,86 @@ impl AdaptiveOptions {
             ltol: 0.5e-3,
             newton: NewtonOptions::default(),
             dc_init: true,
+            solver: SolverKind::Auto,
         }
     }
 }
 
-/// One backward-Euler step of size `h` from `(t0, x0)`, with an optional
-/// factorization cache for linear circuits (keyed by the step size).
+/// One backward-Euler step of size `h` from `(t0, x0)` into `out`, running
+/// entirely on the workspace's buffers. Linear circuits hit the per-`h`
+/// factor cache; non-linear circuits Newton-iterate on the workspace
+/// solver (numeric refactor per iteration, cold factor only when `h`
+/// changes the step matrix).
 #[allow(clippy::too_many_arguments)] // internal stepper: explicit state beats a bag struct
 fn be_step(
     circuit: &Circuit,
-    mna: &MnaSystem,
+    ws: &mut TranWorkspace,
     x0: &[f64],
     t0: f64,
     h: f64,
     newton: &NewtonOptions,
-    lu_cache: Option<&mut std::collections::HashMap<u64, crate::linalg::LuFactors>>,
+    out: &mut [f64],
     newton_count: &mut usize,
-) -> Result<Vec<f64>> {
-    let dim = mna.dim();
+) -> Result<()> {
+    let dim = ws.mna.dim();
     let t1 = t0 + h;
-    let b1 = mna.rhs(circuit, t1, 1.0);
+    ws.mna.rhs_into(circuit, t1, 1.0, &mut ws.b_cur);
     let alpha = 1.0 / h;
-    let cx = mna.c_matrix().mul_vec(x0);
-    let rhs: Vec<f64> = (0..dim).map(|i| b1[i] + alpha * cx[i]).collect();
-    if !mna.has_nonlinear() {
+    ws.solver.c_mul_into(x0, &mut ws.scratch);
+    for i in 0..dim {
+        ws.rhs[i] = ws.b_cur[i] + alpha * ws.scratch[i];
+    }
+    if !ws.mna.has_nonlinear() {
         // Linear: (G + C/h) x1 = rhs with a per-h cached factorization.
-        if let Some(cache) = lu_cache {
-            let key = h.to_bits();
-            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(key) {
-                let mut geff = DenseMatrix::zeros(dim, dim);
-                geff.axpy(1.0, mna.g_matrix());
-                geff.axpy(alpha, mna.c_matrix());
-                e.insert(geff.lu()?);
+        let key = h.to_bits();
+        if !ws.lu_cache.contains_key(&key) {
+            // The controller's h-ladder is small (doublings/halvings of
+            // dt_init), but end-of-window clamping mints run-specific h
+            // values; cap the cache so a long-lived reused workspace
+            // cannot accumulate factors without bound.
+            if ws.lu_cache.len() >= LU_CACHE_MAX {
+                ws.lu_cache.clear();
             }
-            return Ok(cache[&key].solve(&rhs));
+            ws.solver.set_alpha(alpha);
+            let factor = ws.solver.factor_base_owned()?;
+            ws.lu_cache.insert(key, factor);
         }
-        let mut geff = DenseMatrix::zeros(dim, dim);
-        geff.axpy(1.0, mna.g_matrix());
-        geff.axpy(alpha, mna.c_matrix());
-        return Ok(geff.lu()?.solve(&rhs));
+        ws.lu_cache[&key].solve_into(&ws.rhs, out, &mut ws.solve_work);
+        return Ok(());
     }
     // Newton.
-    let mut geff = DenseMatrix::zeros(dim, dim);
-    geff.axpy(1.0, mna.g_matrix());
-    geff.axpy(alpha, mna.c_matrix());
-    let mut x = x0.to_vec();
+    ws.solver.set_alpha(alpha);
+    out.copy_from_slice(x0);
     for _ in 0..newton.max_iter {
         *newton_count += 1;
-        let gx = geff.mul_vec(&x);
-        let mut residual: Vec<f64> = (0..dim).map(|i| gx[i] - rhs[i]).collect();
-        let mut jac = geff.clone();
-        mna.stamp_nonlinear(circuit, &x, &mut residual, Some(&mut jac));
-        let neg: Vec<f64> = residual.iter().map(|&r| -r).collect();
-        let dx = jac.lu()?.solve(&neg);
-        let max_dx = dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        ws.solver.base_mul_into(out, &mut ws.residual);
+        for (r, rhs) in ws.residual.iter_mut().zip(&ws.rhs) {
+            *r -= rhs;
+        }
+        ws.solver.begin_jacobian();
+        ws.mna
+            .stamp_nonlinear(circuit, out, &mut ws.residual, Some(ws.solver.jac_stamp()));
+        for (n, &r) in ws.neg.iter_mut().zip(ws.residual.iter()) {
+            *n = -r;
+        }
+        ws.solver.factor_jacobian()?;
+        ws.solver.solve_into(&ws.neg, &mut ws.dx);
+        let max_dx = ws.dx.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
         let scale = if max_dx > newton.max_step {
             newton.max_step / max_dx
         } else {
             1.0
         };
         let mut done = true;
-        for i in 0..dim {
-            let s = scale * dx[i];
-            x[i] += s;
-            if s.abs() > newton.reltol * x[i].abs() + newton.vntol {
+        for (oi, &di) in out.iter_mut().zip(ws.dx.iter()) {
+            let s = scale * di;
+            *oi += s;
+            if s.abs() > newton.reltol * oi.abs() + newton.vntol {
                 done = false;
             }
         }
         if done && scale == 1.0 {
-            return Ok(x);
+            return Ok(());
         }
     }
     Err(Error::NonConvergence {
@@ -420,6 +646,22 @@ fn be_step(
 /// Fails on invalid options, DC-init failure, Newton non-convergence at the
 /// minimum step, or singular matrices.
 pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<TranResult> {
+    let mut ws = TranWorkspace::new(circuit, opts.solver)?;
+    transient_adaptive_with(circuit, opts, &mut ws)
+}
+
+/// [`transient_adaptive`] reusing a caller-owned [`TranWorkspace`] (same
+/// circuit topology; source waveforms may differ between calls). The
+/// per-step-size factor cache inside the workspace persists across calls.
+///
+/// # Errors
+///
+/// As [`transient_adaptive`], plus a workspace/topology mismatch.
+pub fn transient_adaptive_with(
+    circuit: &Circuit,
+    opts: &AdaptiveOptions,
+    ws: &mut TranWorkspace,
+) -> Result<TranResult> {
     // `is_nan()` checks keep the rejection of NaN options explicit.
     if opts.dt_init.is_nan()
         || opts.dt_init <= 0.0
@@ -437,58 +679,73 @@ pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<T
             opts.t_stop, opts.dt_init, opts.dt_min, opts.dt_max, opts.ltol
         )));
     }
-    let mna = MnaSystem::new(circuit)?;
-    let dim = mna.dim();
-    let n_nodes = mna.n_nodes();
+    ws.check(circuit, opts.solver)?;
+    let dim = ws.mna.dim();
+    let n_nodes = ws.mna.n_nodes();
     let mut x: Vec<f64> = if opts.dc_init {
-        dc_operating_point(circuit, &opts.newton, None)?
+        let mut newton = opts.newton;
+        newton.solver = opts.solver;
+        // Reuse the workspace's MNA system and solver (see transient_with).
+        dc_operating_point_with(circuit, &newton, None, &ws.mna, &mut ws.solver)?
             .unknowns()
             .to_vec()
     } else {
         vec![0.0; dim]
     };
-    let mut lu_cache = std::collections::HashMap::new();
-    let linear = !mna.has_nonlinear();
-    let mut times = vec![0.0];
-    let mut traces: Vec<Vec<f64>> = (0..n_nodes).map(|n| vec![x[n]]).collect();
-    let n_vsrc = mna.vsources().len();
-    let mut branch_currents: Vec<Vec<f64>> = (0..n_vsrc).map(|s| vec![x[n_nodes + s]]).collect();
+    // Step-doubling candidates live outside the workspace so `x` can feed
+    // one be_step while another fills its output.
+    let mut x_full = vec![0.0; dim];
+    let mut x_mid = vec![0.0; dim];
+    let mut x_half = vec![0.0; dim];
+    // Accepted-point count is not known upfront; reserve for the dt_init
+    // pace (the controller usually grows h from there) so recording rarely
+    // reallocates, and never per-step.
+    let est_points = ((opts.t_stop / opts.dt_init) as usize)
+        .saturating_add(2)
+        .min(1 << 20);
+    let with_first = |v0: f64| -> Vec<f64> {
+        let mut v = Vec::with_capacity(est_points);
+        v.push(v0);
+        v
+    };
+    let mut times = with_first(0.0);
+    let mut traces: Vec<Vec<f64>> = (0..n_nodes).map(|n| with_first(x[n])).collect();
+    let n_vsrc = ws.mna.vsources().len();
+    let mut branch_currents: Vec<Vec<f64>> =
+        (0..n_vsrc).map(|s| with_first(x[n_nodes + s])).collect();
     let mut t = 0.0;
     let mut h = opts.dt_init.clamp(opts.dt_min, opts.dt_max);
     let mut total_newton = 0usize;
     while t < opts.t_stop - 1e-21 {
         h = h.min(opts.t_stop - t).max(opts.dt_min);
-        let cache = if linear { Some(&mut lu_cache) } else { None };
-        let x_full = be_step(
+        be_step(
             circuit,
-            &mna,
+            ws,
             &x,
             t,
             h,
             &opts.newton,
-            cache,
+            &mut x_full,
             &mut total_newton,
         )?;
-        let cache = if linear { Some(&mut lu_cache) } else { None };
-        let x_mid = be_step(
+        be_step(
             circuit,
-            &mna,
+            ws,
             &x,
             t,
             0.5 * h,
             &opts.newton,
-            cache,
+            &mut x_mid,
             &mut total_newton,
         )?;
-        let cache = if linear { Some(&mut lu_cache) } else { None };
-        let x_half = be_step(
+        be_step(
             circuit,
-            &mna,
+            ws,
             &x_mid,
             t + 0.5 * h,
             0.5 * h,
             &opts.newton,
-            cache,
+            &mut x_half,
             &mut total_newton,
         )?;
         let err = x_full
@@ -501,7 +758,7 @@ pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<T
         }
         // Accept the two-half-step (more accurate) solution.
         t += h;
-        x = x_half;
+        std::mem::swap(&mut x, &mut x_half);
         times.push(t);
         for (n, tr) in traces.iter_mut().enumerate() {
             tr.push(x[n]);
@@ -516,7 +773,8 @@ pub fn transient_adaptive(circuit: &Circuit, opts: &AdaptiveOptions) -> Result<T
     let node_names = (0..circuit.node_count())
         .map(|i| circuit.node_name(NodeId(i)).to_string())
         .collect();
-    let vsource_names = mna
+    let vsource_names = ws
+        .mna
         .vsources()
         .iter()
         .map(|id| circuit.element(*id).name().to_string())
