@@ -11,9 +11,10 @@
 //! model cannot.
 
 use serde::{Deserialize, Serialize};
-use sna_spice::dc::dc_operating_point;
 use sna_spice::devices::{linspace, SourceWaveform, Table2d};
 use sna_spice::error::{Error, Result};
+use sna_spice::netlist::Circuit;
+use sna_spice::sweep::BatchedSweep;
 
 use crate::cell::{Cell, DriverMode};
 use crate::characterize::{driver_fixture, driver_output_caps, CharacterizeOptions};
@@ -74,26 +75,36 @@ pub fn characterize_load_curve(
     let mut fx = driver_fixture(cell, mode)?;
     let (c_out, c_miller) = driver_output_caps(&fx);
     // Clamp the output with a source so its branch current measures I_DC.
-    fx.ckt.add_vsource(
-        "Vout",
-        fx.out,
-        sna_spice::netlist::Circuit::gnd(),
-        SourceWaveform::Dc(0.0),
-    );
+    fx.ckt
+        .add_vsource("Vout", fx.out, Circuit::gnd(), SourceWaveform::Dc(0.0));
+
+    // One lane per V_out sample: the lanes differ only in the clamp's DC
+    // level (a source waveform), so a whole table row is a single K-lane
+    // batched DC solve sharing one symbolic analysis, warm-started from
+    // the previous row's operating points.
+    let mut lanes: Vec<Circuit> = vout_axis
+        .iter()
+        .map(|&vout| {
+            let mut ckt = fx.ckt.clone();
+            ckt.set_source_wave("Vout", SourceWaveform::Dc(vout))?;
+            Ok(ckt)
+        })
+        .collect::<Result<_>>()?;
+    let mut sweep = BatchedSweep::new(&lanes, opts.newton.solver, opts.backend)?;
 
     let mut values = Vec::with_capacity(vin_axis.len() * vout_axis.len());
-    let mut warm: Option<Vec<f64>> = None;
+    let mut warm: Option<Vec<Vec<f64>>> = None;
     for &vin in &vin_axis {
-        fx.ckt
-            .set_source_wave(&fx.noisy_source, SourceWaveform::Dc(vin))?;
-        for &vout in &vout_axis {
-            fx.ckt.set_source_wave("Vout", SourceWaveform::Dc(vout))?;
-            let sol = dc_operating_point(&fx.ckt, &opts.newton, warm.as_deref())?;
-            warm = Some(sol.unknowns().to_vec());
+        for lane in &mut lanes {
+            lane.set_source_wave(&fx.noisy_source, SourceWaveform::Dc(vin))?;
+        }
+        let sols = sweep.dc_operating_points(&lanes, &opts.newton, warm.as_deref())?;
+        for sol in &sols {
             // The clamp supplies what the cell sinks: I_DC = -I(Vout).
             let i_br = sol.vsource_current("Vout").expect("Vout exists");
             values.push(-i_br);
         }
+        warm = Some(sols.iter().map(|s| s.unknowns().to_vec()).collect());
     }
     Ok(LoadCurve {
         table: Table2d::new(vin_axis, vout_axis, values)?,

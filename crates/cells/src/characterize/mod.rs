@@ -19,10 +19,15 @@ pub mod thevenin;
 
 pub use holding::holding_resistance;
 pub use load_curve::{characterize_load_curve, LoadCurve};
-pub use prop_table::{characterize_propagated_noise, PropagatedNoiseTable};
-pub use thevenin::{characterize_thevenin, TheveninDriver, TheveninLoad};
+pub use prop_table::{
+    characterize_propagated_noise, characterize_propagated_noise_with, PropagatedNoiseTable,
+};
+pub use thevenin::{
+    characterize_thevenin, characterize_thevenin_with, TheveninDriver, TheveninLoad,
+};
 
 use serde::{Deserialize, Serialize};
+use sna_spice::backend::BackendKind;
 use sna_spice::dc::NewtonOptions;
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::Result;
@@ -40,8 +45,12 @@ pub struct CharacterizeOptions {
     pub v_min_frac: f64,
     /// Upper bound as a fraction of Vdd (default 1.3).
     pub v_max_frac: f64,
-    /// Newton controls for the underlying analyses.
+    /// Newton controls for the underlying analyses (including the linear
+    /// solver selection, `newton.solver`).
     pub newton: NewtonOptions,
+    /// Compute backend for the K-lane batched sweeps the grid/height scans
+    /// run on (bit-identical results across backends).
+    pub backend: BackendKind,
 }
 
 impl Default for CharacterizeOptions {
@@ -51,6 +60,7 @@ impl Default for CharacterizeOptions {
             v_min_frac: -0.3,
             v_max_frac: 1.3,
             newton: NewtonOptions::default(),
+            backend: BackendKind::default(),
         }
     }
 }

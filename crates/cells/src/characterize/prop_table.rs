@@ -9,12 +9,13 @@
 use serde::{Deserialize, Serialize};
 use sna_spice::devices::{SourceWaveform, Table2d};
 use sna_spice::error::{Error, Result};
-use sna_spice::solver::SolverKind;
-use sna_spice::tran::{transient_with, TranParams, TranWorkspace};
+use sna_spice::netlist::Circuit;
+use sna_spice::sweep::BatchedSweep;
+use sna_spice::tran::TranParams;
 use sna_spice::waveform::Waveform;
 
 use crate::cell::{Cell, DriverMode};
-use crate::characterize::driver_fixture;
+use crate::characterize::{driver_fixture, CharacterizeOptions};
 
 /// Propagated-noise characterization of one cell in one drive state:
 /// output-glitch descriptors on an (input height × input width) grid.
@@ -113,6 +114,31 @@ pub fn characterize_propagated_noise(
     heights: &[f64],
     widths: &[f64],
 ) -> Result<PropagatedNoiseTable> {
+    characterize_propagated_noise_with(
+        cell,
+        mode,
+        load_cap,
+        heights,
+        widths,
+        &CharacterizeOptions::default(),
+    )
+}
+
+/// [`characterize_propagated_noise`] with explicit solver/backend controls
+/// (`opts.newton.solver` picks the linear solver, `opts.backend` the
+/// compute backend of the batched height sweep).
+///
+/// # Errors
+///
+/// Fails on empty/non-monotone grids or simulator errors.
+pub fn characterize_propagated_noise_with(
+    cell: &Cell,
+    mode: &DriverMode,
+    load_cap: f64,
+    heights: &[f64],
+    widths: &[f64],
+    opts: &CharacterizeOptions,
+) -> Result<PropagatedNoiseTable> {
     if heights.len() < 2 || widths.len() < 2 {
         return Err(Error::InvalidAnalysis(
             "propagated-noise grid needs >= 2 heights and widths".into(),
@@ -127,22 +153,23 @@ pub fn characterize_propagated_noise(
         -1.0
     };
     let mut fx = driver_fixture(cell, mode)?;
-    fx.ckt.add_capacitor(
-        "Cload",
-        fx.out,
-        sna_spice::netlist::Circuit::gnd(),
-        load_cap,
-    )?;
-    let mut peak = Vec::with_capacity(heights.len() * widths.len());
-    let mut width50 = Vec::with_capacity(peak.capacity());
-    let mut area = Vec::with_capacity(peak.capacity());
-    let mut delay = Vec::with_capacity(peak.capacity());
-    // One workspace for the whole grid: MNA assembly and solver setup are
-    // paid once, each grid point only swaps the glitch source waveform.
-    let mut ws = TranWorkspace::new(&fx.ckt, SolverKind::Auto)?;
-    for &h in heights {
-        for &w in widths {
-            let t_start = 50e-12;
+    fx.ckt
+        .add_capacitor("Cload", fx.out, Circuit::gnd(), load_cap)?;
+    let n_grid = heights.len() * widths.len();
+    let mut peak = vec![0.0; n_grid];
+    let mut width50 = vec![0.0; n_grid];
+    let mut area = vec![0.0; n_grid];
+    let mut delay = vec![0.0; n_grid];
+    // All heights of one width column share the transient window, so they
+    // run as one K-lane batched sweep: MNA assembly, the union pattern, and
+    // the symbolic analysis are paid once for the whole grid, and each
+    // column is a single batched transient over `heights.len()` lanes that
+    // differ only in the glitch source waveform.
+    let mut lanes: Vec<Circuit> = heights.iter().map(|_| fx.ckt.clone()).collect();
+    let mut sweep = BatchedSweep::new(&lanes, opts.newton.solver, opts.backend)?;
+    for (wi, &w) in widths.iter().enumerate() {
+        let t_start = 50e-12;
+        for (lane, &h) in lanes.iter_mut().zip(heights) {
             let glitch = SourceWaveform::TriangleGlitch {
                 v_base: q_in,
                 v_peak: q_in + sign * h,
@@ -150,17 +177,23 @@ pub fn characterize_propagated_noise(
                 t_rise: 0.5 * w,
                 t_fall: 0.5 * w,
             };
-            fx.ckt.set_source_wave(&fx.noisy_source, glitch)?;
-            let horizon = t_start + 3.0 * w + 1.5e-9;
-            let dt = (w / 200.0).clamp(0.25e-12, 2e-12);
-            let res = transient_with(&fx.ckt, &TranParams::new(horizon, dt), &mut ws)?;
+            lane.set_source_wave(&fx.noisy_source, glitch)?;
+        }
+        let horizon = t_start + 3.0 * w + 1.5e-9;
+        let dt = (w / 200.0).clamp(0.25e-12, 2e-12);
+        let mut params = TranParams::new(horizon, dt);
+        params.newton = opts.newton;
+        params.solver = opts.newton.solver;
+        let results = sweep.transient(&lanes, &params)?;
+        for (hi, res) in results.iter().enumerate() {
             let wave = res.node_waveform(fx.out);
             let m = wave.glitch_metrics(mode.output_level);
-            peak.push(m.peak);
-            width50.push(m.width);
-            area.push(m.area);
+            let idx = hi * widths.len() + wi;
+            peak[idx] = m.peak;
+            width50[idx] = m.width;
+            area[idx] = m.area;
             let t_peak_in = t_start + 0.5 * w;
-            delay.push(m.peak_time - t_peak_in);
+            delay[idx] = m.peak_time - t_peak_in;
         }
     }
     Ok(PropagatedNoiseTable {

@@ -16,6 +16,7 @@
 //!   waveform error of the replayed Thevenin response.
 
 use serde::{Deserialize, Serialize};
+use sna_spice::dc::NewtonOptions;
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::{Circuit, NodeId};
@@ -23,6 +24,7 @@ use sna_spice::tran::{transient, TranParams};
 use sna_spice::waveform::Waveform;
 
 use crate::cell::Cell;
+use crate::characterize::CharacterizeOptions;
 
 /// Load presented to the driver during characterization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,6 +141,7 @@ fn simulate_driver(
     rising: bool,
     input_slew: f64,
     load: &TheveninLoad,
+    newton: &NewtonOptions,
 ) -> Result<Waveform> {
     let vdd_v = cell.tech.vdd;
     // For an inverting cell the input falls to make the output rise.
@@ -170,7 +173,9 @@ fn simulate_driver(
     cell.instantiate(&mut ckt, "drv", &inputs, out, vdd)?;
     load.attach(&mut ckt, out)?;
     let horizon = t_start + input_slew + 4e-9;
-    let params = TranParams::new(horizon, 1e-12);
+    let mut params = TranParams::new(horizon, 1e-12);
+    params.newton = *newton;
+    params.solver = newton.solver;
     let res = transient(&ckt, &params)?;
     Ok(res.node_waveform(out))
 }
@@ -193,10 +198,33 @@ pub fn characterize_thevenin(
     input_slew: f64,
     load: &TheveninLoad,
 ) -> Result<TheveninDriver> {
+    characterize_thevenin_with(
+        cell,
+        rising,
+        input_slew,
+        load,
+        &CharacterizeOptions::default(),
+    )
+}
+
+/// [`characterize_thevenin`] with explicit solver controls
+/// (`opts.newton.solver` picks the linear solver for every fit transient).
+///
+/// # Errors
+///
+/// As [`characterize_thevenin`].
+pub fn characterize_thevenin_with(
+    cell: &Cell,
+    rising: bool,
+    input_slew: f64,
+    load: &TheveninLoad,
+    opts: &CharacterizeOptions,
+) -> Result<TheveninDriver> {
+    let newton = &opts.newton;
     let vdd = cell.tech.vdd;
     let half = 0.5 * vdd;
     // Reference: the driver's DP waveform on the real (Π) load.
-    let w_ref = simulate_driver(cell, rising, input_slew, load)?;
+    let w_ref = simulate_driver(cell, rising, input_slew, load, newton)?;
     let t50_ref = crossing_time(&w_ref, half, rising)
         .ok_or_else(|| Error::InvalidAnalysis("driver output never crossed 50%".into()))?;
     let (lo_lvl, hi_lvl) = (0.2 * vdd, 0.8 * vdd);
@@ -222,8 +250,8 @@ pub fn characterize_thevenin(
     // R_TH seed from a classic two-lumped-load delay fit.
     let c1 = load.total_cap().max(1e-15);
     let c2 = 2.0 * c1 + 5e-15;
-    let w_l1 = simulate_driver(cell, rising, input_slew, &TheveninLoad::Lumped(c1))?;
-    let w_l2 = simulate_driver(cell, rising, input_slew, &TheveninLoad::Lumped(c2))?;
+    let w_l1 = simulate_driver(cell, rising, input_slew, &TheveninLoad::Lumped(c1), newton)?;
+    let w_l2 = simulate_driver(cell, rising, input_slew, &TheveninLoad::Lumped(c2), newton)?;
     let t50_l1 = crossing_time(&w_l1, half, rising)
         .ok_or_else(|| Error::InvalidAnalysis("driver output never crossed 50%".into()))?;
     let t50_l2 = crossing_time(&w_l2, half, rising).ok_or_else(|| {
@@ -254,7 +282,10 @@ pub fn characterize_thevenin(
         ckt.add_resistor("Rth", e, o, rth)?;
         load.attach(&mut ckt, o)?;
         let horizon = T_REPLAY_ONSET + t_rise + 12.0 * rth * load.total_cap() + 2e-9;
-        let res = transient(&ckt, &TranParams::new(horizon, 1e-12))?;
+        let mut params = TranParams::new(horizon, 1e-12);
+        params.newton = *newton;
+        params.solver = newton.solver;
+        let res = transient(&ckt, &params)?;
         let wfit = res.node_waveform(o);
         let t50_fit = crossing_time(&wfit, half, rising)
             .ok_or_else(|| Error::InvalidAnalysis("thevenin fit never crossed 50%".into()))?;
@@ -345,7 +376,8 @@ mod tests {
         let th = characterize_thevenin(&cell, true, 50.0 * PS, &load).unwrap();
         assert!(th.rth > 20.0 && th.rth < 5e3, "rth={}", th.rth);
         // Replay both models into the same load and compare waveforms.
-        let gold = simulate_driver(&cell, true, 50.0 * PS, &load).unwrap();
+        let gold =
+            simulate_driver(&cell, true, 50.0 * PS, &load, &NewtonOptions::default()).unwrap();
         let mut ckt = Circuit::new();
         let e = ckt.node("emf");
         let o = ckt.node("out");

@@ -41,9 +41,10 @@ pub use tech::{MetalLayer, Technology};
 pub mod prelude {
     pub use crate::cell::{Cell, CellPorts, CellType, DriverMode};
     pub use crate::characterize::{
-        characterize_load_curve, characterize_propagated_noise, characterize_thevenin,
-        driver_fixture, driver_output_caps, holding_resistance, CharacterizeOptions, DriverFixture,
-        LoadCurve, PropagatedNoiseTable, TheveninDriver, TheveninLoad,
+        characterize_load_curve, characterize_propagated_noise, characterize_propagated_noise_with,
+        characterize_thevenin, characterize_thevenin_with, driver_fixture, driver_output_caps,
+        holding_resistance, CharacterizeOptions, DriverFixture, LoadCurve, PropagatedNoiseTable,
+        TheveninDriver, TheveninLoad,
     };
     pub use crate::tech::{MetalLayer, Technology};
 }

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 use sna_cells::characterize::{
-    characterize_load_curve, characterize_propagated_noise, characterize_thevenin,
+    characterize_load_curve, characterize_propagated_noise_with, characterize_thevenin_with,
     holding_resistance, CharacterizeOptions, LoadCurve, PropagatedNoiseTable, TheveninDriver,
     TheveninLoad,
 };
@@ -28,6 +28,7 @@ use crate::library::NoiseModelLibrary;
 use sna_mor::{
     port_admittance_moments, prima_reduce_with, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
 };
+use sna_spice::backend::BackendKind;
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::Circuit;
@@ -171,8 +172,12 @@ pub struct MacromodelOptions {
     /// Expansion point of the reduction (rad/s).
     pub expansion_point: f64,
     /// Linear-solver backend for the reduction's shifted-system solves
-    /// (dense, sparse, or dimension-based auto selection).
+    /// (dense, sparse, or dimension-based auto selection). Also forwarded
+    /// to every characterization analysis this build runs.
     pub solver: SolverKind,
+    /// Compute backend for the K-lane batched characterization sweeps
+    /// (scalar lane-outer or batched lane-inner; bit-identical results).
+    pub backend: BackendKind,
 }
 
 impl Default for MacromodelOptions {
@@ -182,6 +187,7 @@ impl Default for MacromodelOptions {
             reduction_order: DEFAULT_Q,
             expansion_point: DEFAULT_S0,
             solver: SolverKind::Auto,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -261,26 +267,33 @@ impl ClusterMacromodel {
     ) -> Result<Self> {
         spec.validate()?;
         let vdd = spec.tech.vdd;
+        // The modeling options' solver/backend selections apply to the
+        // characterization analyses too, not just the reduction.
+        let mut char_opts = spec.char_opts;
+        char_opts.newton.solver = options.solver;
+        char_opts.backend = options.backend;
         // --- Victim driver characterization (Eq. 1 + parasitics).
         let load_curve = match library {
             Some(lib) => {
-                (*lib.load_curve(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?).clone()
+                (*lib.load_curve(&spec.victim.cell, &spec.victim.mode, &char_opts)?).clone()
             }
-            None => characterize_load_curve(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?,
+            None => characterize_load_curve(&spec.victim.cell, &spec.victim.mode, &char_opts)?,
         };
         let r_hold = match library {
             Some(lib) => {
-                lib.holding_resistance(&spec.victim.cell, &spec.victim.mode, &spec.char_opts)?
+                lib.holding_resistance(&spec.victim.cell, &spec.victim.mode, &char_opts)?
             }
-            None => {
-                holding_resistance(&spec.victim.cell, &spec.victim.mode, &spec.char_opts.newton)?
-            }
+            None => holding_resistance(&spec.victim.cell, &spec.victim.mode, &char_opts.newton)?,
         };
         let char_load = spec.victim_total_cap(load_curve.c_out);
         let prop_table = match library {
-            Some(lib) => {
-                (*lib.propagated_table(&spec.victim.cell, &spec.victim.mode, char_load)?).clone()
-            }
+            Some(lib) => (*lib.propagated_table(
+                &spec.victim.cell,
+                &spec.victim.mode,
+                char_load,
+                &char_opts,
+            )?)
+            .clone(),
             None => {
                 let heights: Vec<f64> = [0.25, 0.45, 0.65, 0.85, 1.05]
                     .iter()
@@ -290,12 +303,13 @@ impl ClusterMacromodel {
                     .iter()
                     .map(|w| w * PS)
                     .collect();
-                characterize_propagated_noise(
+                characterize_propagated_noise_with(
                     &spec.victim.cell,
                     &spec.victim.mode,
                     char_load,
                     &heights,
                     &widths,
+                    &char_opts,
                 )?
             }
         };
@@ -376,7 +390,13 @@ impl ClusterMacromodel {
                 r: pi.r,
                 c_far: pi.c_far,
             };
-            let th = characterize_thevenin(&agg.cell, agg.rising, agg.input_slew, &load)?;
+            let th = characterize_thevenin_with(
+                &agg.cell,
+                agg.rising,
+                agg.input_slew,
+                &load,
+                &char_opts,
+            )?;
             thevenins.push(th.shifted(agg.switch_time));
         }
         // --- Moment-matched reduction with every port retained.

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use sna_cells::characterize::{
-    characterize_load_curve, characterize_propagated_noise, holding_resistance,
+    characterize_load_curve, characterize_propagated_noise_with, holding_resistance,
     CharacterizeOptions, LoadCurve, PropagatedNoiseTable,
 };
 use sna_cells::{Cell, DriverMode};
@@ -257,6 +257,7 @@ impl NoiseModelLibrary {
         cell: &Cell,
         mode: &DriverMode,
         load_cap: f64,
+        opts: &CharacterizeOptions,
     ) -> Result<Arc<PropagatedNoiseTable>> {
         let bucket = load_bucket(load_cap)?;
         let key = (CellKey::new(cell, mode), bucket);
@@ -274,12 +275,13 @@ impl NoiseModelLibrary {
             .iter()
             .map(|w| w * PS)
             .collect();
-        let table = Arc::new(characterize_propagated_noise(
+        let table = Arc::new(characterize_propagated_noise_with(
             cell,
             mode,
             bucket_cap(bucket),
             &heights,
             &widths,
+            opts,
         )?);
         Ok(self.prop_tables.insert_if_absent(key, table))
     }
@@ -343,13 +345,19 @@ mod tests {
         let cell = Cell::inv(tech, 1.0);
         let mode = cell.holding_low_mode();
         let lib = NoiseModelLibrary::new();
-        let a = lib.propagated_table(&cell, &mode, 50e-15).unwrap();
+        let a = lib
+            .propagated_table(&cell, &mode, 50e-15, &CharacterizeOptions::default())
+            .unwrap();
         // +5% load: same bucket, cache hit.
-        let b = lib.propagated_table(&cell, &mode, 52.5e-15).unwrap();
+        let b = lib
+            .propagated_table(&cell, &mode, 52.5e-15, &CharacterizeOptions::default())
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
         // 3x load: different bucket.
-        let c = lib.propagated_table(&cell, &mode, 150e-15).unwrap();
+        let c = lib
+            .propagated_table(&cell, &mode, 150e-15, &CharacterizeOptions::default())
+            .unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
     }
 
@@ -377,7 +385,9 @@ mod tests {
         let cell = Cell::inv(tech, 1.0);
         let mode = cell.holding_low_mode();
         let lib = NoiseModelLibrary::new();
-        assert!(lib.propagated_table(&cell, &mode, -5e-15).is_err());
+        assert!(lib
+            .propagated_table(&cell, &mode, -5e-15, &CharacterizeOptions::default())
+            .is_err());
         assert!(lib.is_empty());
     }
 

@@ -79,6 +79,21 @@ pub fn characterize_nrc(
     input_low: bool,
     widths: &[f64],
 ) -> Result<NoiseRejectionCurve> {
+    characterize_nrc_with(receiver, input_low, widths, SolverKind::Auto)
+}
+
+/// [`characterize_nrc`] with an explicit linear-solver selection for the
+/// bisection transients.
+///
+/// # Errors
+///
+/// Fails on empty width grids or simulator errors.
+pub fn characterize_nrc_with(
+    receiver: &Cell,
+    input_low: bool,
+    widths: &[f64],
+    solver: SolverKind,
+) -> Result<NoiseRejectionCurve> {
     if widths.len() < 2 {
         return Err(Error::InvalidAnalysis("NRC needs at least 2 widths".into()));
     }
@@ -106,7 +121,7 @@ pub fn characterize_nrc(
     // One workspace for the whole bisection grid: every probe reuses the
     // assembled MNA system and solver state, only the glitch source
     // waveform changes between transients.
-    let mut ws = TranWorkspace::new(&fx.ckt, SolverKind::Auto)?;
+    let mut ws = TranWorkspace::new(&fx.ckt, solver)?;
     let mut fail_heights = Vec::with_capacity(widths.len());
     for &w in widths {
         let fails_at = |h: f64,
@@ -126,7 +141,10 @@ pub fn characterize_nrc(
             )?;
             let horizon = t_start + 2.5 * w + 1.0e-9;
             let dt = (w / 150.0).clamp(0.5e-12, 2e-12);
-            let res = transient_with(&fx.ckt, &TranParams::new(horizon, dt), ws)?;
+            let mut params = TranParams::new(horizon, dt);
+            params.solver = solver;
+            params.newton.solver = solver;
+            let res = transient_with(&fx.ckt, &params, ws)?;
             let out = res.node_waveform(fx.out);
             let crossed = if q_out > half {
                 out.min_value() < half

@@ -6,6 +6,7 @@
 //! tested; the binary is a thin `main`.
 
 use sna_cells::Technology;
+use sna_spice::backend::BackendKind;
 use sna_spice::solver::SolverKind;
 use sna_spice::units::PS;
 
@@ -43,9 +44,13 @@ pub struct CliConfig {
     pub strict: bool,
     /// Report format.
     pub format: Format,
-    /// Linear-solver backend for the interconnect-reduction (PRIMA)
-    /// solves. Characterization transients auto-select by dimension.
+    /// Linear-solver selection for the interconnect-reduction (PRIMA)
+    /// solves *and* every characterization analysis (DC sweeps, NRC
+    /// bisection and propagated-noise transients).
     pub solver: SolverKind,
+    /// Compute backend for the K-lane batched characterization sweeps
+    /// (bit-identical results across backends).
+    pub backend: BackendKind,
 }
 
 impl Default for CliConfig {
@@ -60,6 +65,7 @@ impl Default for CliConfig {
             strict: false,
             format: Format::Text,
             solver: SolverKind::Auto,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -82,10 +88,15 @@ OPTIONS:
     --strict              abort on the first per-cluster failure instead of
                           downgrading it to a skipped-net diagnostic
     --format <F>          text | json | csv                   [default: text]
-    --solver <S>          auto | dense | sparse               [default: auto]
-                          linear-solver backend for the interconnect-
-                          reduction (PRIMA) solves; characterization
-                          transients always auto-select by dimension
+    --solver <S>          auto | auto:<N> | dense | sparse    [default: auto]
+                          linear-solver selection for the interconnect-
+                          reduction (PRIMA) solves and every
+                          characterization analysis; auto:<N> switches to
+                          sparse at system dimension N
+    --backend <B>         scalar | batched                    [default: scalar]
+                          compute backend for the K-lane batched
+                          characterization sweeps (results are
+                          bit-identical across backends)
     --help                print this help
 
 The report (stdout) is a pure function of the design and options: a run at
@@ -145,7 +156,20 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     "auto" => SolverKind::Auto,
                     "dense" => SolverKind::Dense,
                     "sparse" => SolverKind::Sparse,
-                    other => return Err(format!("unknown solver '{other}'")),
+                    other => match other.strip_prefix("auto:") {
+                        Some(t) => SolverKind::AutoThreshold(t.parse().map_err(|_| {
+                            format!("bad auto threshold '{t}' in --solver {other}")
+                        })?),
+                        None => return Err(format!("unknown solver '{other}'")),
+                    },
+                };
+            }
+            "--backend" => {
+                let raw: String = parse_value(arg, it.next())?;
+                cfg.backend = match raw.as_str() {
+                    "scalar" => BackendKind::Scalar,
+                    "batched" => BackendKind::Batched,
+                    other => return Err(format!("unknown backend '{other}'")),
                 };
             }
             "--help" | "-h" => return Err("help".into()),
@@ -179,6 +203,7 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
         },
         mm: sna_core::cluster::MacromodelOptions {
             solver: cfg.solver,
+            backend: cfg.backend,
             ..Default::default()
         },
         threads: cfg.threads,
@@ -270,6 +295,27 @@ mod tests {
         assert!(parse_args(&args(&["--solver", "magic"]))
             .unwrap_err()
             .contains("unknown solver"));
+    }
+
+    #[test]
+    fn solver_auto_threshold_parses() {
+        let cfg = parse_args(&args(&["--solver", "auto:64"])).unwrap();
+        assert_eq!(cfg.solver, SolverKind::AutoThreshold(64));
+        assert!(parse_args(&args(&["--solver", "auto:lots"]))
+            .unwrap_err()
+            .contains("bad auto threshold"));
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        assert_eq!(parse_args(&[]).unwrap().backend, BackendKind::Scalar);
+        let cfg = parse_args(&args(&["--backend", "batched"])).unwrap();
+        assert_eq!(cfg.backend, BackendKind::Batched);
+        let cfg = parse_args(&args(&["--backend", "scalar"])).unwrap();
+        assert_eq!(cfg.backend, BackendKind::Scalar);
+        assert!(parse_args(&args(&["--backend", "gpu"]))
+            .unwrap_err()
+            .contains("unknown backend"));
     }
 
     #[test]

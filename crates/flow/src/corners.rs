@@ -7,7 +7,7 @@
 //! its own receiver NRC, and its own parallel flow run.
 
 use sna_cells::{Cell, Technology};
-use sna_core::nrc::characterize_nrc;
+use sna_core::nrc::characterize_nrc_with;
 use sna_core::sna::Design;
 use sna_spice::error::{Error, Result};
 use sna_spice::units::PS;
@@ -56,7 +56,12 @@ pub fn run_corners(
     let mut out = Vec::with_capacity(corners.len());
     for tech in corners {
         let design = Design::random(tech, n_clusters, seed);
-        let nrc = characterize_nrc(&Cell::inv(tech.clone(), 1.0), true, &NRC_WIDTHS)?;
+        let nrc = characterize_nrc_with(
+            &Cell::inv(tech.clone(), 1.0),
+            true,
+            &NRC_WIDTHS,
+            opts.mm.solver,
+        )?;
         let flow = run_sna_parallel(&design, &nrc, opts)?;
         out.push(CornerReport {
             tech: tech.name.clone(),

@@ -1,0 +1,473 @@
+//! Pluggable compute backends for the K-lane batched solver kernels.
+//!
+//! [`crate::sweep::BatchedSweep`] carries `K` value vectors through
+//! assembly, numeric (re)factorization, and triangular solves in
+//! struct-of-arrays layout; this module is the seam that decides *how*
+//! those planes are processed. Two CPU implementations exist today:
+//!
+//! * [`ScalarBackend`] — lane-outermost loops, replaying the serial kernel
+//!   per lane (cache-friendly, the reference implementation), and
+//! * [`BatchedBackend`] — lane-innermost loops, so each matrix slot's `K`
+//!   values stream contiguously and auto-vectorize.
+//!
+//! Both nestings execute the identical per-lane operation sequence, so
+//! they produce **bit-identical** results — switching `--backend` can
+//! never change a report byte. The [`ComputeBackend`] trait is
+//! object-safe and sized so a GPU batched-LU (one kernel launch per
+//! refactor/solve over all lanes) could slot in behind the same five
+//! methods later.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sparse::{BatchedSparseLu, SparseMatrix};
+
+/// Which batched compute backend the sweep kernels run on. Mirrors
+/// [`crate::solver::SolverKind`]: a runtime-selectable escape hatch,
+/// defaulting to the reference implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Lane-outermost scalar replay of the serial kernels (reference).
+    #[default]
+    Scalar,
+    /// Lane-innermost SIMD-friendly loops over the same SoA planes.
+    Batched,
+}
+
+/// The compute seam of the batched solver stack: numeric factorization and
+/// triangular solves over K-lane struct-of-arrays value planes.
+///
+/// Factorization methods process **all** lanes even when one fails (the
+/// failing lane's factors go non-finite but stay contained) and report the
+/// smallest failing lane index, so every implementation fails
+/// identically and the caller's cold-refactor fallback is deterministic.
+pub trait ComputeBackend: Sync + Send {
+    /// Human-readable backend name (diagnostics, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Factor every lane of `lu` in place (per-lane partial pivoting).
+    ///
+    /// # Errors
+    ///
+    /// `Err(lane)` with the smallest lane whose pivot column collapsed.
+    fn dense_factor(&self, lu: &mut BatchedDenseLu) -> std::result::Result<(), usize>;
+
+    /// Solve every lane against the SoA right-hand-side plane `b`
+    /// (`b[row * k + lane]`), writing the SoA solution plane `x`.
+    fn dense_solve(&self, lu: &BatchedDenseLu, b: &[f64], x: &mut [f64]);
+
+    /// Numerically refactor every lane of `lu` from the SoA value plane
+    /// `vals` sharing `a`'s pattern, replaying the stored pivot sequence.
+    ///
+    /// # Errors
+    ///
+    /// `Err(lane)` with the smallest lane whose stored pivot became
+    /// numerically zero; the caller cold-factors that lane for fresh
+    /// pivots and retries.
+    fn sparse_refactor(
+        &self,
+        lu: &mut BatchedSparseLu,
+        a: &SparseMatrix,
+        vals: &[f64],
+    ) -> std::result::Result<(), usize>;
+
+    /// Solve every lane against the SoA plane `b`, writing `x`.
+    fn sparse_solve(&self, lu: &mut BatchedSparseLu, b: &[f64], x: &mut [f64]);
+}
+
+/// Lane-outermost reference backend (serial kernel replayed per lane).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+/// Lane-innermost SIMD-friendly backend over the same SoA planes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedBackend;
+
+impl ComputeBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn dense_factor(&self, lu: &mut BatchedDenseLu) -> std::result::Result<(), usize> {
+        lu.factor_outer()
+    }
+
+    fn dense_solve(&self, lu: &BatchedDenseLu, b: &[f64], x: &mut [f64]) {
+        lu.solve_outer(b, x);
+    }
+
+    fn sparse_refactor(
+        &self,
+        lu: &mut BatchedSparseLu,
+        a: &SparseMatrix,
+        vals: &[f64],
+    ) -> std::result::Result<(), usize> {
+        lu.refactor_outer(a, vals)
+    }
+
+    fn sparse_solve(&self, lu: &mut BatchedSparseLu, b: &[f64], x: &mut [f64]) {
+        lu.solve_outer(b, x);
+    }
+}
+
+impl ComputeBackend for BatchedBackend {
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn dense_factor(&self, lu: &mut BatchedDenseLu) -> std::result::Result<(), usize> {
+        lu.factor_inner()
+    }
+
+    fn dense_solve(&self, lu: &BatchedDenseLu, b: &[f64], x: &mut [f64]) {
+        lu.solve_inner(b, x);
+    }
+
+    fn sparse_refactor(
+        &self,
+        lu: &mut BatchedSparseLu,
+        a: &SparseMatrix,
+        vals: &[f64],
+    ) -> std::result::Result<(), usize> {
+        lu.refactor_inner(a, vals)
+    }
+
+    fn sparse_solve(&self, lu: &mut BatchedSparseLu, b: &[f64], x: &mut [f64]) {
+        lu.solve_inner(b, x);
+    }
+}
+
+/// Resolve a [`BackendKind`] to its (stateless) implementation.
+pub fn backend_for(kind: BackendKind) -> &'static dyn ComputeBackend {
+    match kind {
+        BackendKind::Scalar => &ScalarBackend,
+        BackendKind::Batched => &BatchedBackend,
+    }
+}
+
+/// K-lane dense LU with per-lane partial pivoting over one SoA data plane.
+///
+/// Layout: `data[(i * n + j) * k + lane]`, per-lane permutation
+/// `perm[lane * n + i]`. The data plane doubles as the Jacobian stamping
+/// area — the sweep copies its base plane in, stamps non-linear
+/// contributions per lane, then factors in place, exactly mirroring the
+/// serial [`crate::linalg::LuFactors`] elimination per lane (minus the
+/// `m != 0.0` skip guard, which only ever skips exact no-op updates).
+#[derive(Debug, Clone)]
+pub struct BatchedDenseLu {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+/// Pivots below this are numerically singular (same cutoff as the serial
+/// dense LU).
+const PIVOT_MIN: f64 = 1e-300;
+
+impl BatchedDenseLu {
+    /// Zeroed `n × n × k` plane with identity permutations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0, "batched factorization needs at least one lane");
+        Self {
+            n,
+            k,
+            data: vec![0.0; n * n * k],
+            perm: vec![0; n * k],
+        }
+    }
+
+    /// Dimension of each lane's system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The SoA data plane (`data[(i * n + j) * k + lane]`) — valid matrix
+    /// entries before a factor call, L/U factors afterwards.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable SoA data plane, for loading matrix values and stamping.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    fn reset_perm(&mut self) {
+        for lane in 0..self.k {
+            for i in 0..self.n {
+                self.perm[lane * self.n + i] = i;
+            }
+        }
+    }
+
+    /// Lane-outer factorization: per-lane partial-pivoted elimination, one
+    /// full lane at a time. All lanes run to completion; the smallest
+    /// failing lane (if any) is reported, its factors left non-finite but
+    /// contained.
+    ///
+    /// # Errors
+    ///
+    /// `Err(lane)` with the smallest numerically singular lane.
+    pub fn factor_outer(&mut self) -> std::result::Result<(), usize> {
+        self.reset_perm();
+        let (n, k) = (self.n, self.k);
+        let mut fail = usize::MAX;
+        for lane in 0..k {
+            for kk in 0..n {
+                let mut p = kk;
+                let mut best = self.data[(kk * n + kk) * k + lane].abs();
+                for i in (kk + 1)..n {
+                    let v = self.data[(i * n + kk) * k + lane].abs();
+                    if v > best {
+                        best = v;
+                        p = i;
+                    }
+                }
+                if best < PIVOT_MIN && lane < fail {
+                    fail = lane;
+                }
+                if p != kk {
+                    for j in 0..n {
+                        self.data
+                            .swap((kk * n + j) * k + lane, (p * n + j) * k + lane);
+                    }
+                    self.perm.swap(lane * n + kk, lane * n + p);
+                }
+                let pivot = self.data[(kk * n + kk) * k + lane];
+                for i in (kk + 1)..n {
+                    let m = self.data[(i * n + kk) * k + lane] / pivot;
+                    self.data[(i * n + kk) * k + lane] = m;
+                    for j in (kk + 1)..n {
+                        self.data[(i * n + j) * k + lane] -= m * self.data[(kk * n + j) * k + lane];
+                    }
+                }
+            }
+        }
+        if fail == usize::MAX {
+            Ok(())
+        } else {
+            Err(fail)
+        }
+    }
+
+    /// Lane-inner factorization: identical per-lane arithmetic to
+    /// [`BatchedDenseLu::factor_outer`] with the elimination-update loops
+    /// lane-innermost. Pivot search and row swaps stay per-lane (the pivot
+    /// row is data-dependent), but the O(n³) update sweep streams lanes
+    /// contiguously.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchedDenseLu::factor_outer`].
+    pub fn factor_inner(&mut self) -> std::result::Result<(), usize> {
+        self.reset_perm();
+        let (n, k) = (self.n, self.k);
+        let mut fail = usize::MAX;
+        for kk in 0..n {
+            for lane in 0..k {
+                let mut p = kk;
+                let mut best = self.data[(kk * n + kk) * k + lane].abs();
+                for i in (kk + 1)..n {
+                    let v = self.data[(i * n + kk) * k + lane].abs();
+                    if v > best {
+                        best = v;
+                        p = i;
+                    }
+                }
+                if best < PIVOT_MIN && lane < fail {
+                    fail = lane;
+                }
+                if p != kk {
+                    for j in 0..n {
+                        self.data
+                            .swap((kk * n + j) * k + lane, (p * n + j) * k + lane);
+                    }
+                    self.perm.swap(lane * n + kk, lane * n + p);
+                }
+            }
+            for i in (kk + 1)..n {
+                let mcol = (i * n + kk) * k;
+                let pcol = (kk * n + kk) * k;
+                for lane in 0..k {
+                    self.data[mcol + lane] /= self.data[pcol + lane];
+                }
+                for j in (kk + 1)..n {
+                    let dst = (i * n + j) * k;
+                    let src = (kk * n + j) * k;
+                    for lane in 0..k {
+                        self.data[dst + lane] -= self.data[mcol + lane] * self.data[src + lane];
+                    }
+                }
+            }
+        }
+        if fail == usize::MAX {
+            Ok(())
+        } else {
+            Err(fail)
+        }
+    }
+
+    /// Lane-outer solve over SoA planes (`b[row * k + lane]`), using `x`
+    /// in place as the substitution workspace like the serial kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plane-dimension mismatch.
+    pub fn solve_outer(&self, b: &[f64], x: &mut [f64]) {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(b.len(), n * k);
+        assert_eq!(x.len(), n * k);
+        for lane in 0..k {
+            for i in 0..n {
+                x[i * k + lane] = b[self.perm[lane * n + i] * k + lane];
+            }
+            for i in 1..n {
+                for j in 0..i {
+                    x[i * k + lane] -= self.data[(i * n + j) * k + lane] * x[j * k + lane];
+                }
+            }
+            for i in (0..n).rev() {
+                for j in (i + 1)..n {
+                    x[i * k + lane] -= self.data[(i * n + j) * k + lane] * x[j * k + lane];
+                }
+                x[i * k + lane] /= self.data[(i * n + i) * k + lane];
+            }
+        }
+    }
+
+    /// Lane-inner solve: identical per-lane arithmetic to
+    /// [`BatchedDenseLu::solve_outer`] with the lane loop innermost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plane-dimension mismatch.
+    pub fn solve_inner(&self, b: &[f64], x: &mut [f64]) {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(b.len(), n * k);
+        assert_eq!(x.len(), n * k);
+        for i in 0..n {
+            for lane in 0..k {
+                x[i * k + lane] = b[self.perm[lane * n + i] * k + lane];
+            }
+        }
+        for i in 1..n {
+            for j in 0..i {
+                let a = (i * n + j) * k;
+                for lane in 0..k {
+                    x[i * k + lane] -= self.data[a + lane] * x[j * k + lane];
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let a = (i * n + j) * k;
+                for lane in 0..k {
+                    x[i * k + lane] -= self.data[a + lane] * x[j * k + lane];
+                }
+            }
+            let d = (i * n + i) * k;
+            for lane in 0..k {
+                x[i * k + lane] /= self.data[d + lane];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::DenseMatrix;
+
+    fn load_lanes(lu: &mut BatchedDenseLu, mats: &[DenseMatrix]) {
+        let (n, k) = (lu.n(), lu.k());
+        assert_eq!(mats.len(), k);
+        let data = lu.data_mut();
+        for (lane, m) in mats.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    data[(i * n + j) * k + lane] = m[(i, j)];
+                }
+            }
+        }
+    }
+
+    fn lane_mats(k: usize) -> Vec<DenseMatrix> {
+        (0..k)
+            .map(|lane| {
+                let s = 1.0 + 0.11 * lane as f64;
+                DenseMatrix::from_rows(&[
+                    &[0.0, 1.0 * s, 0.5],
+                    &[2.0 * s, -1.0, 0.0],
+                    &[0.5, 0.0, 3.0 * s],
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_dense_matches_serial_and_nestings_bitwise() {
+        let k = 4;
+        let mats = lane_mats(k);
+        let b_lane = [1.0, -2.0, 0.5];
+        let mut b_plane = vec![0.0; 3 * k];
+        for i in 0..3 {
+            for lane in 0..k {
+                b_plane[i * k + lane] = b_lane[i];
+            }
+        }
+        let mut outer = BatchedDenseLu::new(3, k);
+        let mut inner = BatchedDenseLu::new(3, k);
+        load_lanes(&mut outer, &mats);
+        load_lanes(&mut inner, &mats);
+        outer.factor_outer().unwrap();
+        inner.factor_inner().unwrap();
+        let mut x_outer = vec![0.0; 3 * k];
+        let mut x_inner = vec![0.0; 3 * k];
+        outer.solve_outer(&b_plane, &mut x_outer);
+        inner.solve_inner(&b_plane, &mut x_inner);
+        for (o, i) in x_outer.iter().zip(&x_inner) {
+            assert_eq!(o.to_bits(), i.to_bits(), "nestings diverge: {o} vs {i}");
+        }
+        for (lane, m) in mats.iter().enumerate() {
+            let want = m.solve(&b_lane).unwrap();
+            for i in 0..3 {
+                let got = x_outer[i * k + lane];
+                assert!(
+                    (got - want[i]).abs() < 1e-12,
+                    "lane {lane} row {i}: {got} vs {}",
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dense_reports_min_singular_lane() {
+        let k = 3;
+        let mut mats = lane_mats(k);
+        mats[1] = DenseMatrix::zeros(3, 3);
+        mats[2] = DenseMatrix::zeros(3, 3);
+        let mut outer = BatchedDenseLu::new(3, k);
+        let mut inner = BatchedDenseLu::new(3, k);
+        load_lanes(&mut outer, &mats);
+        load_lanes(&mut inner, &mats);
+        assert_eq!(outer.factor_outer(), Err(1));
+        assert_eq!(inner.factor_inner(), Err(1));
+    }
+
+    #[test]
+    fn backend_for_resolves_names() {
+        assert_eq!(backend_for(BackendKind::Scalar).name(), "scalar");
+        assert_eq!(backend_for(BackendKind::Batched).name(), "batched");
+        assert_eq!(BackendKind::default(), BackendKind::Scalar);
+    }
+}

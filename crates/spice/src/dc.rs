@@ -57,6 +57,21 @@ pub struct DcSolution {
 }
 
 impl DcSolution {
+    /// Assemble a solution from raw parts (batched-sweep internal).
+    pub(crate) fn from_parts(
+        x: Vec<f64>,
+        n_nodes: usize,
+        vsource_names: Vec<String>,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            x,
+            n_nodes,
+            vsource_names,
+            iterations,
+        }
+    }
+
     /// Voltage of `node` (0 for ground).
     pub fn voltage(&self, node: NodeId) -> f64 {
         if node.is_ground() {
@@ -164,7 +179,7 @@ fn newton_solve(
     })
 }
 
-fn vsource_names(circuit: &Circuit, mna: &MnaSystem) -> Vec<String> {
+pub(crate) fn vsource_names(circuit: &Circuit, mna: &MnaSystem) -> Vec<String> {
     mna.vsources()
         .iter()
         .map(|id| circuit.element(*id).name().to_string())

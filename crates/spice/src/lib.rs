@@ -24,6 +24,13 @@
 //!   symbolic/numeric LU split (cold factor once, refactor per iteration).
 //! * [`solver`] — dense/sparse backend selection ([`solver::SolverKind`])
 //!   shared by every repeated solve in the workspace.
+//! * [`backend`] — the pluggable compute seam ([`backend::ComputeBackend`])
+//!   behind the K-lane batched kernels: lane-outer scalar and lane-inner
+//!   SIMD-friendly CPU implementations, bit-identical by construction.
+//! * [`sweep`] — [`sweep::BatchedSweep`], the K-lane batched value plane
+//!   over [`solver::SystemSolver`]: one symbolic analysis and one pattern,
+//!   `K` struct-of-arrays value vectors through DC Newton and both
+//!   transient steppers (corner sweeps, characterization grids).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod dc;
 pub mod devices;
 pub mod error;
@@ -58,6 +66,7 @@ pub mod netlist;
 pub mod parser;
 pub mod solver;
 pub mod sparse;
+pub mod sweep;
 pub mod tran;
 pub mod units;
 pub mod waveform;
@@ -66,6 +75,9 @@ pub use error::{Error, Result};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::backend::{
+        backend_for, BackendKind, BatchedBackend, BatchedDenseLu, ComputeBackend, ScalarBackend,
+    };
     pub use crate::dc::{
         dc_input_conductance, dc_operating_point, dc_operating_point_with, dc_sweep, DcSolution,
         NewtonOptions,
@@ -78,7 +90,8 @@ pub mod prelude {
     pub use crate::netlist::{Circuit, Element, ElementId, NodeId};
     pub use crate::parser::{parse_deck, write_deck, ParsedDeck};
     pub use crate::solver::{SolverKind, SystemSolver, SPARSE_AUTO_THRESHOLD};
-    pub use crate::sparse::{SparseLu, SparseMatrix, Symbolic};
+    pub use crate::sparse::{BatchedSparseLu, SparseLu, SparseMatrix, Symbolic};
+    pub use crate::sweep::BatchedSweep;
     pub use crate::tran::{
         transient, transient_adaptive, transient_adaptive_with, transient_with, AdaptiveOptions,
         Integrator, TranParams, TranResult, TranWorkspace,

@@ -30,6 +30,12 @@ pub enum SolverKind {
     /// sparse at or above it.
     #[default]
     Auto,
+    /// Dimension-based auto selection with a caller-chosen crossover
+    /// instead of the measured [`SPARSE_AUTO_THRESHOLD`]: dense below the
+    /// given unknown count, sparse at or above it (`--solver auto:N` on
+    /// the CLI). Lets deployments re-tune the crossover for their own
+    /// cache hierarchy without a rebuild.
+    AutoThreshold(usize),
     /// Force the dense LU path.
     Dense,
     /// Force the sparse symbolic/numeric LU path.
@@ -41,6 +47,7 @@ impl SolverKind {
     pub fn is_sparse_for(self, dim: usize) -> bool {
         match self {
             SolverKind::Auto => dim >= SPARSE_AUTO_THRESHOLD,
+            SolverKind::AutoThreshold(t) => dim >= t,
             SolverKind::Dense => false,
             SolverKind::Sparse => true,
         }
@@ -371,6 +378,33 @@ mod tests {
         assert!(SolverKind::Auto.is_sparse_for(SPARSE_AUTO_THRESHOLD));
         assert!(!SolverKind::Dense.is_sparse_for(10_000));
         assert!(SolverKind::Sparse.is_sparse_for(2));
+    }
+
+    #[test]
+    fn custom_auto_threshold_overrides_constant() {
+        // Regression at the boundary dimension: the tunable crossover must
+        // flip exactly at its own value, independent of the built-in one.
+        for t in [2, SPARSE_AUTO_THRESHOLD / 2, SPARSE_AUTO_THRESHOLD * 2] {
+            let kind = SolverKind::AutoThreshold(t);
+            assert!(!kind.is_sparse_for(t - 1), "dim {} must stay dense", t - 1);
+            assert!(kind.is_sparse_for(t), "dim {t} must go sparse");
+        }
+        // A tunable set to the measured constant behaves exactly like Auto.
+        let tuned = SolverKind::AutoThreshold(SPARSE_AUTO_THRESHOLD);
+        for dim in [SPARSE_AUTO_THRESHOLD - 1, SPARSE_AUTO_THRESHOLD] {
+            assert_eq!(
+                tuned.is_sparse_for(dim),
+                SolverKind::Auto.is_sparse_for(dim)
+            );
+        }
+        // And the selection is honored end-to-end by a real system.
+        let ckt = ladder(40);
+        let mna = MnaSystem::new(&ckt).unwrap();
+        let dim = mna.dim();
+        let low = SystemSolver::new(&mna, &ckt, SolverKind::AutoThreshold(dim));
+        assert!(low.is_sparse());
+        let high = SystemSolver::new(&mna, &ckt, SolverKind::AutoThreshold(dim + 1));
+        assert!(!high.is_sparse());
     }
 
     #[test]

@@ -183,7 +183,7 @@ pub struct TranWorkspace {
 /// Order-sensitive FNV-1a hash of every stamped element value *and* every
 /// terminal wiring (source waveforms excluded — those are the one thing a
 /// workspace re-run may legitimately change).
-fn circuit_value_hash(circuit: &Circuit) -> u64 {
+pub(crate) fn circuit_value_hash(circuit: &Circuit) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
@@ -239,6 +239,84 @@ fn circuit_value_hash(circuit: &Circuit) -> u64 {
         }
     }
     h
+}
+
+/// Order-sensitive FNV-1a hash of the circuit *wiring only*: element kind
+/// tags and terminal nodes, no values. Lanes of a batched sweep must share
+/// this hash (identical topology) while their element values — and hence
+/// their [`circuit_value_hash`] — may legitimately differ per lane.
+pub(crate) fn circuit_topology_hash(circuit: &Circuit) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    let n = |id: &NodeId| if id.is_ground() { 0 } else { id.index() as u64 };
+    for el in circuit.elements() {
+        match el {
+            Element::Resistor { a, b, .. } => {
+                mix(1);
+                mix(n(a) | n(b) << 32);
+            }
+            Element::Capacitor { a, b, .. } => {
+                mix(2);
+                mix(n(a) | n(b) << 32);
+            }
+            Element::VSource { pos, neg, .. } => {
+                mix(3);
+                mix(n(pos) | n(neg) << 32);
+            }
+            Element::ISource { pos, neg, .. } => {
+                mix(4);
+                mix(n(pos) | n(neg) << 32);
+            }
+            Element::LinearVccs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } => {
+                mix(5);
+                mix(n(out_p) | n(out_n) << 16 | n(ctrl_p) << 32 | n(ctrl_n) << 48);
+            }
+            Element::TableVccs {
+                out_p, out_n, ctrl, ..
+            } => {
+                mix(6);
+                mix(n(out_p) | n(out_n) << 16 | n(ctrl) << 32);
+            }
+            Element::Mosfet { d, g, s, b, .. } => {
+                mix(7);
+                mix(n(d) | n(g) << 16 | n(s) << 32 | n(b) << 48);
+            }
+        }
+    }
+    h
+}
+
+impl TranResult {
+    /// Assemble a result from raw parts (batched-sweep internal).
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        traces: Vec<Vec<f64>>,
+        branch_currents: Vec<Vec<f64>>,
+        node_names: Vec<String>,
+        vsource_names: Vec<String>,
+        newton_iterations: usize,
+    ) -> Self {
+        Self {
+            times,
+            traces,
+            branch_currents,
+            node_names,
+            vsource_names,
+            newton_iterations,
+        }
+    }
 }
 
 impl TranWorkspace {

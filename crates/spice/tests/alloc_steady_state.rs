@@ -16,9 +16,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sna_spice::backend::BackendKind;
 use sna_spice::devices::{MosPolarity, MosfetModel, SourceWaveform};
 use sna_spice::netlist::Circuit;
 use sna_spice::solver::SolverKind;
+use sna_spice::sweep::BatchedSweep;
 use sna_spice::tran::{
     transient_adaptive_with, transient_with, AdaptiveOptions, TranParams, TranWorkspace,
 };
@@ -170,6 +172,49 @@ fn assert_adaptive_alloc_free(ckt: &Circuit, kind: SolverKind, slack: u64) {
     );
 }
 
+/// K-lane variants of a base circuit differing only in the noisy source's
+/// waveform (the only thing [`BatchedSweep`] allows to change per lane).
+fn lanes_of(base: &Circuit, source: &str, waves: &[SourceWaveform]) -> Vec<Circuit> {
+    waves
+        .iter()
+        .map(|w| {
+            let mut ckt = base.clone();
+            ckt.set_source_wave(source, w.clone()).unwrap();
+            ckt
+        })
+        .collect()
+}
+
+/// The batched stepping loops must match the serial contract: a 4× horizon
+/// costs at most `slack` more allocations than 1×, across all K lanes.
+fn assert_batched_alloc_free(
+    lanes: &[Circuit],
+    kind: SolverKind,
+    backend: BackendKind,
+    dt: f64,
+    slack: u64,
+) {
+    let mut sweep = BatchedSweep::new(lanes, kind, backend).unwrap();
+    let short_params = TranParams::new(0.4 * NS, dt);
+    let long_params = TranParams::new(1.6 * NS, dt);
+    sweep.transient(lanes, &short_params).unwrap();
+    let (short, _) = allocs(|| sweep.transient(lanes, &short_params));
+    let (long, _) = allocs(|| sweep.transient(lanes, &long_params));
+    assert!(
+        long <= short + slack,
+        "{kind:?}/{backend:?} batched: {long} allocations at 4x horizon vs {short} at 1x"
+    );
+    let short_opts = AdaptiveOptions::new(0.4 * NS);
+    let long_opts = AdaptiveOptions::new(1.6 * NS);
+    sweep.transient_adaptive(lanes, &short_opts).unwrap();
+    let (short, _) = allocs(|| sweep.transient_adaptive(lanes, &short_opts));
+    let (long, _) = allocs(|| sweep.transient_adaptive(lanes, &long_opts));
+    assert!(
+        long <= short + slack,
+        "{kind:?}/{backend:?} batched adaptive: {long} allocations at 4x horizon vs {short} at 1x"
+    );
+}
+
 #[test]
 fn stepping_loops_do_not_allocate_per_step() {
     let lin = ladder(120); // above the sparse auto threshold
@@ -183,5 +228,37 @@ fn stepping_loops_do_not_allocate_per_step() {
         // are bounded by the h-ladder, not by the step count.
         assert_adaptive_alloc_free(&lin, kind, 96);
         assert_adaptive_alloc_free(&nl, kind, 96);
+    }
+    // Batched K-lane sweeps: same steady-state contract, K=4. The recording
+    // vectors are per lane, so the slack is proportionally wider; the
+    // stepping loops themselves must stay allocation-free.
+    let lin_lanes = lanes_of(
+        &lin,
+        "Vin",
+        &(0..4)
+            .map(|i| SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 0.3 * (i + 1) as f64,
+                t_start: 0.1 * NS,
+                t_rise: 100.0 * PS,
+            })
+            .collect::<Vec<_>>(),
+    );
+    let nl_lanes = lanes_of(
+        &nl,
+        "Vin",
+        &(0..4)
+            .map(|i| SourceWaveform::TriangleGlitch {
+                v_base: 1.2,
+                v_peak: 0.9 - 0.2 * i as f64,
+                t_start: 0.2 * NS,
+                t_rise: 150.0 * PS,
+                t_fall: 150.0 * PS,
+            })
+            .collect::<Vec<_>>(),
+    );
+    for backend in [BackendKind::Scalar, BackendKind::Batched] {
+        assert_batched_alloc_free(&lin_lanes, SolverKind::Sparse, backend, 2.0 * PS, 256);
+        assert_batched_alloc_free(&nl_lanes, SolverKind::Dense, backend, 1.0 * PS, 256);
     }
 }
