@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use sna_interconnect::prelude::*;
+use sna_obs::{local_snapshot, Metric};
 use sna_spice::linalg::DenseMatrix;
 use sna_spice::mna::MnaSystem;
 use sna_spice::netlist::Circuit;
@@ -71,6 +72,17 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// `sna-obs` counter deltas of one canonical transient per backend —
+/// workload structure (steps, refactors, solves) to read the timings
+/// against. Exact counts, not samples: the runs are deterministic.
+struct TranCounters {
+    steps: u64,
+    dense_refactors: u64,
+    dense_solves: u64,
+    sparse_refactors: u64,
+    sparse_solves: u64,
+}
+
 struct CaseResult {
     unknowns: usize,
     nnz: usize,
@@ -82,6 +94,7 @@ struct CaseResult {
     tran_dense_ms: Option<f64>,
     tran_sparse_ms: Option<f64>,
     max_wave_diff: Option<f64>,
+    counters: Option<TranCounters>,
 }
 
 /// Measure one bus size: raw factor costs, and (for `tran_window` Some)
@@ -105,18 +118,22 @@ fn run_case(segments: usize, reps: usize, tran_window: Option<f64>) -> CaseResul
         * median_secs(reps, || {
             lu.refactor(&sp).unwrap();
         });
-    let (tran_dense_ms, tran_sparse_ms, max_wave_diff) = match tran_window {
-        None => (None, None, None),
+    let (tran_dense_ms, tran_sparse_ms, max_wave_diff, counters) = match tran_window {
+        None => (None, None, None, None),
         Some(t_stop) => {
             let mut params = TranParams::new(t_stop, 2.0 * PS);
             params.solver = SolverKind::Dense;
+            let before = local_snapshot();
             let dense_res = transient(&ckt, &params).unwrap();
+            let d_dense = local_snapshot().since(&before);
             let t_dense = 1e3
                 * median_secs(reps.min(3), || {
                     std::hint::black_box(transient(&ckt, &params).unwrap());
                 });
             params.solver = SolverKind::Sparse;
+            let before = local_snapshot();
             let sparse_res = transient(&ckt, &params).unwrap();
+            let d_sparse = local_snapshot().since(&before);
             let t_sparse = 1e3
                 * median_secs(reps.min(3), || {
                     std::hint::black_box(transient(&ckt, &params).unwrap());
@@ -124,7 +141,14 @@ fn run_case(segments: usize, reps: usize, tran_window: Option<f64>) -> CaseResul
             let diff = dense_res
                 .node_waveform(probe)
                 .max_abs_difference(&sparse_res.node_waveform(probe));
-            (Some(t_dense), Some(t_sparse), Some(diff))
+            let counters = TranCounters {
+                steps: d_dense.get(Metric::TranSteps),
+                dense_refactors: d_dense.get(Metric::SolverRefactorsDense),
+                dense_solves: d_dense.get(Metric::SolverSolves),
+                sparse_refactors: d_sparse.get(Metric::SolverRefactorsSparse),
+                sparse_solves: d_sparse.get(Metric::SolverSolves),
+            };
+            (Some(t_dense), Some(t_sparse), Some(diff), Some(counters))
         }
     };
     CaseResult {
@@ -138,6 +162,7 @@ fn run_case(segments: usize, reps: usize, tran_window: Option<f64>) -> CaseResul
         tran_dense_ms,
         tran_sparse_ms,
         max_wave_diff,
+        counters,
     }
 }
 
@@ -152,11 +177,19 @@ fn emit_json(cases: &[CaseResult]) {
     println!("  \"cases\": [");
     for (k, c) in cases.iter().enumerate() {
         let comma = if k + 1 < cases.len() { "," } else { "" };
+        let counters = c.counters.as_ref().map_or("null".into(), |t| {
+            format!(
+                "{{\"tran_steps\": {}, \"dense_refactors\": {}, \"dense_solves\": {}, \
+                 \"sparse_refactors\": {}, \"sparse_solves\": {}}}",
+                t.steps, t.dense_refactors, t.dense_solves, t.sparse_refactors, t.sparse_solves
+            )
+        });
         println!(
             "    {{\"unknowns\": {}, \"nnz\": {}, \"factor_nnz\": {}, \
              \"dense_lu_ms\": {:.4}, \"sparse_cold_ms\": {:.4}, \
              \"sparse_refactor_ms\": {:.4}, \"refactor_speedup_vs_dense\": {:.1}, \
-             \"tran_dense_ms\": {}, \"tran_sparse_ms\": {}, \"max_wave_diff\": {}}}{}",
+             \"tran_dense_ms\": {}, \"tran_sparse_ms\": {}, \"max_wave_diff\": {}, \
+             \"counters\": {}}}{}",
             c.unknowns,
             c.nnz,
             c.factor_nnz,
@@ -168,6 +201,7 @@ fn emit_json(cases: &[CaseResult]) {
             fmt_opt(c.tran_sparse_ms),
             c.max_wave_diff
                 .map_or("null".into(), |x| format!("{x:.3e}")),
+            counters,
             comma
         );
     }
@@ -196,6 +230,12 @@ fn self_test() {
             "dense/sparse waveform deviation {diff:.3e} at {} unknowns",
             c.unknowns
         );
+        // Counter deltas describe the snapshotted runs: both backends took
+        // the same steps and solved once per step plus the DC solve.
+        let t = c.counters.as_ref().unwrap();
+        assert!(t.steps > 0);
+        assert_eq!(t.dense_solves, t.steps + 1);
+        assert_eq!(t.sparse_solves, t.steps + 1);
         println!(
             "solver smoke: {} unknowns, wave diff {:.2e}, refactor speedup {:.1}x — ok",
             c.unknowns, diff, c.refactor_speedup_vs_dense

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use sna_interconnect::prelude::*;
+use sna_obs::{local_snapshot, Metric};
 use sna_spice::backend::BackendKind;
 use sna_spice::dc::{dc_operating_point, NewtonOptions};
 use sna_spice::netlist::Circuit;
@@ -75,6 +76,15 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 const SEGMENTS: usize = 100;
 
+/// `sna-obs` counter deltas of one batched DC sweep — how much Newton and
+/// serial-fallback work the timings above actually cover.
+struct SweepCounters {
+    sweep_calls: u64,
+    lanes: u64,
+    lane_newton_iterations: u64,
+    serial_fallbacks: u64,
+}
+
 struct SweepCase {
     k: usize,
     backend: BackendKind,
@@ -84,6 +94,7 @@ struct SweepCase {
     marginal_per_corner_ms: Option<f64>,
     marginal_vs_cold: Option<f64>,
     max_dev_vs_serial: f64,
+    counters: SweepCounters,
 }
 
 /// Measure one (K, backend) point: cold serial per-corner cost, total
@@ -104,7 +115,15 @@ fn run_case(k: usize, backend: BackendKind, reps: usize, t1_ms: Option<f64>) -> 
         * median_secs(reps, || {
             std::hint::black_box(sweep.dc_operating_points(&lanes, &newton, None).unwrap());
         });
+    let before = local_snapshot();
     let sols = sweep.dc_operating_points(&lanes, &newton, None).unwrap();
+    let d = local_snapshot().since(&before);
+    let counters = SweepCounters {
+        sweep_calls: d.get(Metric::SweepCalls),
+        lanes: d.get(Metric::SweepLanes),
+        lane_newton_iterations: d.get(Metric::SweepLaneNewtonIterations),
+        serial_fallbacks: d.get(Metric::SweepSerialFallbacks),
+    };
     let mut max_dev = 0.0_f64;
     for (lane, sol) in sols.iter().enumerate() {
         let serial = dc_operating_point(&lanes[lane], &newton, None).unwrap();
@@ -128,6 +147,7 @@ fn run_case(k: usize, backend: BackendKind, reps: usize, t1_ms: Option<f64>) -> 
         marginal_per_corner_ms,
         marginal_vs_cold,
         max_dev_vs_serial: max_dev,
+        counters,
     }
 }
 
@@ -149,7 +169,9 @@ fn emit_json(cases: &[SweepCase]) {
             "    {{\"k\": {}, \"backend\": \"{:?}\", \"unknowns\": {}, \
              \"cold_solve_ms\": {:.4}, \"batched_total_ms\": {:.4}, \
              \"marginal_per_corner_ms\": {}, \"marginal_vs_cold\": {}, \
-             \"max_dev_vs_serial\": {:.3e}}}{}",
+             \"max_dev_vs_serial\": {:.3e}, \
+             \"counters\": {{\"sweep_calls\": {}, \"lanes\": {}, \
+             \"lane_newton_iterations\": {}, \"serial_fallbacks\": {}}}}}{}",
             c.k,
             c.backend,
             c.unknowns,
@@ -158,6 +180,10 @@ fn emit_json(cases: &[SweepCase]) {
             fmt_opt(c.marginal_per_corner_ms),
             fmt_opt(c.marginal_vs_cold),
             c.max_dev_vs_serial,
+            c.counters.sweep_calls,
+            c.counters.lanes,
+            c.counters.lane_newton_iterations,
+            c.counters.serial_fallbacks,
             comma
         );
     }
@@ -179,6 +205,9 @@ fn self_test() {
             "{backend:?}: batched corners deviate {:.3e} from serial solves",
             c.max_dev_vs_serial
         );
+        // Counter deltas cover exactly the one snapshotted sweep call.
+        assert_eq!(c.counters.sweep_calls, 1);
+        assert_eq!(c.counters.lanes, c.k as u64);
         println!(
             "sweep smoke [{backend:?}]: {} unknowns, K={}, dev {:.2e} — ok",
             c.unknowns, c.k, c.max_dev_vs_serial

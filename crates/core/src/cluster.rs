@@ -23,8 +23,9 @@ use sna_cells::characterize::{
 };
 use sna_cells::{Cell, DriverMode, Technology};
 use sna_interconnect::CoupledBus;
+use sna_obs::{phase_span, Phase};
 
-use crate::library::NoiseModelLibrary;
+use crate::library::{ArtifactKind, NoiseModelLibrary};
 use sna_mor::{
     port_admittance_moments, prima_reduce_with, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
 };
@@ -266,6 +267,7 @@ impl ClusterMacromodel {
         library: Option<&NoiseModelLibrary>,
     ) -> Result<Self> {
         spec.validate()?;
+        let _t = phase_span(Phase::Characterize);
         let vdd = spec.tech.vdd;
         // The modeling options' solver/backend selections apply to the
         // characterization analyses too, not just the reduction.
@@ -390,13 +392,19 @@ impl ClusterMacromodel {
                 r: pi.r,
                 c_far: pi.c_far,
             };
-            let th = characterize_thevenin_with(
-                &agg.cell,
-                agg.rising,
-                agg.input_slew,
-                &load,
-                &char_opts,
-            )?;
+            let th = {
+                let _t = phase_span(Phase::Thevenin);
+                if let Some(lib) = library {
+                    lib.record_uncached(ArtifactKind::Thevenin);
+                }
+                characterize_thevenin_with(
+                    &agg.cell,
+                    agg.rising,
+                    agg.input_slew,
+                    &load,
+                    &char_opts,
+                )?
+            };
             thevenins.push(th.shifted(agg.switch_time));
         }
         // --- Moment-matched reduction with every port retained.
@@ -408,13 +416,16 @@ impl ClusterMacromodel {
         }
         ports.push(wires[0].far);
         port_roles.push(PortRole::VictimReceiver);
-        let reduced = prima_reduce_with(
-            &net,
-            &ports,
-            options.reduction_order,
-            options.expansion_point,
-            options.solver,
-        )?;
+        let reduced = {
+            let _t = phase_span(Phase::Reduce);
+            prima_reduce_with(
+                &net,
+                &ports,
+                options.reduction_order,
+                options.expansion_point,
+                options.solver,
+            )?
+        };
         // --- Victim input waveform.
         let q_in = spec.victim.mode.input_levels[spec.victim.mode.noisy_input];
         let q_out = spec.victim.mode.output_level;

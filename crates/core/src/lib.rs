@@ -49,7 +49,7 @@ pub mod prelude {
     };
     pub use crate::engine::{simulate_macromodel, simulate_macromodel_with, NoiseWaveforms};
     pub use crate::golden::{build_golden_circuit, simulate_golden};
-    pub use crate::library::{LibraryStats, NoiseModelLibrary};
+    pub use crate::library::{ArtifactKind, KindStats, LibraryStats, NoiseModelLibrary};
     pub use crate::nrc::{characterize_nrc, characterize_nrc_with, NoiseRejectionCurve};
     pub use crate::report::{ComparisonRow, MethodComparison};
     pub use crate::scenarios::{

@@ -39,6 +39,7 @@ use sna_cells::characterize::{
     CharacterizeOptions, LoadCurve, PropagatedNoiseTable,
 };
 use sna_cells::{Cell, DriverMode};
+use sna_obs::{phase_span, Phase};
 use sna_spice::error::{Error, Result};
 use sna_spice::units::PS;
 
@@ -85,19 +86,85 @@ fn bucket_cap(bucket: i32) -> f64 {
     1.2_f64.powi(bucket)
 }
 
-/// Cache statistics.
+/// Kinds of characterization artifacts the cache statistics distinguish.
+///
+/// The first three are cached in the library's sharded maps; Thevenin fits
+/// and noisy-receiver curves are characterized fresh every time (see the
+/// module docs), so they only ever show up as misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ArtifactKind {
+    /// Eq. (1) load curves.
+    LoadCurve = 0,
+    /// Holding resistances.
+    HoldingR = 1,
+    /// Propagated-noise tables.
+    PropTable = 2,
+    /// Thevenin aggressor fits (never cached: they depend on each net's Π).
+    Thevenin = 3,
+    /// Noisy-receiver curves (never cached: one bisection sweep per corner).
+    Nrc = 4,
+}
+
+/// Number of [`ArtifactKind`] variants.
+pub const ARTIFACT_KIND_COUNT: usize = 5;
+
+/// Every [`ArtifactKind`], in index order.
+pub const ALL_ARTIFACT_KINDS: [ArtifactKind; ARTIFACT_KIND_COUNT] = [
+    ArtifactKind::LoadCurve,
+    ArtifactKind::HoldingR,
+    ArtifactKind::PropTable,
+    ArtifactKind::Thevenin,
+    ArtifactKind::Nrc,
+];
+
+impl ArtifactKind {
+    /// Stable snake_case name, used as a JSON key in metrics documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::LoadCurve => "load_curve",
+            ArtifactKind::HoldingR => "holding_r",
+            ArtifactKind::PropTable => "prop_table",
+            ArtifactKind::Thevenin => "thevenin",
+            ArtifactKind::Nrc => "nrc",
+        }
+    }
+}
+
+/// Hit/miss counts for one artifact kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LibraryStats {
-    /// Cache hits across all artifact kinds.
+pub struct KindStats {
+    /// Cache hits.
     pub hits: usize,
     /// Cache misses (characterizations actually run).
     pub misses: usize,
 }
 
+/// Cache statistics: per-artifact-kind hit/miss breakdown plus the derived
+/// totals and per-shard occupancy of the backing maps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibraryStats {
+    /// Cache hits across all artifact kinds (sum of `by_kind` hits).
+    pub hits: usize,
+    /// Cache misses across all kinds (sum of `by_kind` misses).
+    pub misses: usize,
+    /// Hit/miss breakdown per [`ArtifactKind`], indexed by discriminant.
+    pub by_kind: [KindStats; ARTIFACT_KIND_COUNT],
+    /// Artifacts stored per lock shard, summed over the three cached maps.
+    pub shard_occupancy: [usize; SHARD_COUNT],
+}
+
+impl LibraryStats {
+    /// Hit/miss counts for one artifact kind.
+    pub fn kind(&self, kind: ArtifactKind) -> KindStats {
+        self.by_kind[kind as usize]
+    }
+}
+
 /// Number of independent lock shards per artifact map. Eight is plenty for
 /// the thread counts a desktop flow runs at; the map is keyed by cell
 /// identity, so distinct cells almost always land on distinct shards.
-const SHARD_COUNT: usize = 8;
+pub const SHARD_COUNT: usize = 8;
 
 /// A hash-sharded `RwLock<HashMap>`: readers of different shards never
 /// contend, and writers only lock the one shard their key hashes to.
@@ -146,6 +213,13 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
             .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
+
+    fn shard_len(&self, i: usize) -> usize {
+        self.shards[i]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
 }
 
 impl<K: Hash + Eq, V: Clone> Default for ShardedMap<K, V> {
@@ -164,8 +238,8 @@ pub struct NoiseModelLibrary {
     load_curves: ShardedMap<(CellKey, usize), Arc<LoadCurve>>,
     holding: ShardedMap<CellKey, f64>,
     prop_tables: ShardedMap<(CellKey, i32), Arc<PropagatedNoiseTable>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    hit_counts: [AtomicUsize; ARTIFACT_KIND_COUNT],
+    miss_counts: [AtomicUsize; ARTIFACT_KIND_COUNT],
 }
 
 impl NoiseModelLibrary {
@@ -176,9 +250,25 @@ impl NoiseModelLibrary {
 
     /// Cache statistics so far (aggregated atomically across threads).
     pub fn stats(&self) -> LibraryStats {
+        let mut by_kind = [KindStats::default(); ARTIFACT_KIND_COUNT];
+        let (mut hits, mut misses) = (0, 0);
+        for (i, ks) in by_kind.iter_mut().enumerate() {
+            ks.hits = self.hit_counts[i].load(Ordering::Relaxed);
+            ks.misses = self.miss_counts[i].load(Ordering::Relaxed);
+            hits += ks.hits;
+            misses += ks.misses;
+        }
+        let mut shard_occupancy = [0usize; SHARD_COUNT];
+        for (i, occ) in shard_occupancy.iter_mut().enumerate() {
+            *occ = self.load_curves.shard_len(i)
+                + self.holding.shard_len(i)
+                + self.prop_tables.shard_len(i);
+        }
         LibraryStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
+            by_kind,
+            shard_occupancy,
         }
     }
 
@@ -192,12 +282,18 @@ impl NoiseModelLibrary {
         self.len() == 0
     }
 
-    fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+    fn record_hit(&self, kind: ArtifactKind) {
+        self.hit_counts[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+    fn record_miss(&self, kind: ArtifactKind) {
+        self.miss_counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a characterization that bypasses the cache entirely (Thevenin
+    /// fits, noisy-receiver curves). Always a miss: the work really ran.
+    pub fn record_uncached(&self, kind: ArtifactKind) {
+        self.record_miss(kind);
     }
 
     /// The Eq. (1) load curve for `(cell, mode)` at the grid in `opts`,
@@ -214,10 +310,11 @@ impl NoiseModelLibrary {
     ) -> Result<Arc<LoadCurve>> {
         let key = (CellKey::new(cell, mode), opts.grid);
         if let Some(hit) = self.load_curves.get(&key) {
-            self.record_hit();
+            self.record_hit(ArtifactKind::LoadCurve);
             return Ok(hit);
         }
-        self.record_miss();
+        self.record_miss(ArtifactKind::LoadCurve);
+        let _t = phase_span(Phase::LoadCurve);
         let lc = Arc::new(characterize_load_curve(cell, mode, opts)?);
         Ok(self.load_curves.insert_if_absent(key, lc))
     }
@@ -235,10 +332,11 @@ impl NoiseModelLibrary {
     ) -> Result<f64> {
         let key = CellKey::new(cell, mode);
         if let Some(hit) = self.holding.get(&key) {
-            self.record_hit();
+            self.record_hit(ArtifactKind::HoldingR);
             return Ok(hit);
         }
-        self.record_miss();
+        self.record_miss(ArtifactKind::HoldingR);
+        let _t = phase_span(Phase::HoldingR);
         let r = holding_resistance(cell, mode, &opts.newton)?;
         Ok(self.holding.insert_if_absent(key, r))
     }
@@ -262,10 +360,11 @@ impl NoiseModelLibrary {
         let bucket = load_bucket(load_cap)?;
         let key = (CellKey::new(cell, mode), bucket);
         if let Some(hit) = self.prop_tables.get(&key) {
-            self.record_hit();
+            self.record_hit(ArtifactKind::PropTable);
             return Ok(hit);
         }
-        self.record_miss();
+        self.record_miss(ArtifactKind::PropTable);
+        let _t = phase_span(Phase::PropTable);
         let vdd = cell.tech.vdd;
         let heights: Vec<f64> = [0.25, 0.45, 0.65, 0.85, 1.05]
             .iter()
@@ -303,9 +402,19 @@ mod tests {
         };
         let lib = NoiseModelLibrary::new();
         let a = lib.load_curve(&cell, &mode, &opts).unwrap();
-        assert_eq!(lib.stats(), LibraryStats { hits: 0, misses: 1 });
+        let st = lib.stats();
+        assert_eq!((st.hits, st.misses), (0, 1));
+        assert_eq!(
+            st.kind(ArtifactKind::LoadCurve),
+            KindStats { hits: 0, misses: 1 }
+        );
         let b = lib.load_curve(&cell, &mode, &opts).unwrap();
-        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+        let st = lib.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(
+            st.kind(ArtifactKind::LoadCurve),
+            KindStats { hits: 1, misses: 1 }
+        );
         assert!(Arc::ptr_eq(&a, &b));
         // Different mode = different artifact.
         let high = cell.holding_high_mode();
@@ -353,7 +462,12 @@ mod tests {
             .propagated_table(&cell, &mode, 52.5e-15, &CharacterizeOptions::default())
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+        let st = lib.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(
+            st.kind(ArtifactKind::PropTable),
+            KindStats { hits: 1, misses: 1 }
+        );
         // 3x load: different bucket.
         let c = lib
             .propagated_table(&cell, &mode, 150e-15, &CharacterizeOptions::default())
@@ -401,7 +515,46 @@ mod tests {
         let r1 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
         let r2 = lib.holding_resistance(&cell, &mode, &opts).unwrap();
         assert_eq!(r1, r2);
-        assert_eq!(lib.stats(), LibraryStats { hits: 1, misses: 1 });
+        let st = lib.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(
+            st.kind(ArtifactKind::HoldingR),
+            KindStats { hits: 1, misses: 1 }
+        );
+    }
+
+    #[test]
+    fn per_kind_breakdown_and_shard_occupancy() {
+        let tech = Technology::cmos130();
+        let cell = Cell::nand2(tech, 1.0);
+        let mode = cell.holding_low_mode();
+        let opts = CharacterizeOptions {
+            grid: 9,
+            ..Default::default()
+        };
+        let lib = NoiseModelLibrary::new();
+        lib.load_curve(&cell, &mode, &opts).unwrap();
+        lib.holding_resistance(&cell, &mode, &opts).unwrap();
+        lib.record_uncached(ArtifactKind::Thevenin);
+        lib.record_uncached(ArtifactKind::Thevenin);
+        lib.record_uncached(ArtifactKind::Nrc);
+        let st = lib.stats();
+        assert_eq!(st.kind(ArtifactKind::LoadCurve).misses, 1);
+        assert_eq!(st.kind(ArtifactKind::HoldingR).misses, 1);
+        assert_eq!(
+            st.kind(ArtifactKind::Thevenin),
+            KindStats { hits: 0, misses: 2 }
+        );
+        assert_eq!(st.kind(ArtifactKind::Nrc), KindStats { hits: 0, misses: 1 });
+        // Totals are derived from the breakdown.
+        assert_eq!(st.hits, st.by_kind.iter().map(|k| k.hits).sum::<usize>());
+        assert_eq!(
+            st.misses,
+            st.by_kind.iter().map(|k| k.misses).sum::<usize>()
+        );
+        // Two stored artifacts, wherever they hashed to.
+        assert_eq!(st.shard_occupancy.iter().sum::<usize>(), lib.len());
+        assert_eq!(lib.len(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 use sna_cells::characterize::driver_fixture;
 use sna_cells::Cell;
+use sna_obs::{phase_span, Phase};
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
 use sna_spice::netlist::Circuit;
@@ -97,6 +98,7 @@ pub fn characterize_nrc_with(
     if widths.len() < 2 {
         return Err(Error::InvalidAnalysis("NRC needs at least 2 widths".into()));
     }
+    let _t = phase_span(Phase::Nrc);
     let vdd = receiver.tech.vdd;
     // Receiver drive state: input low means the cell holds its output in
     // the state implied by a low noisy input — i.e. the holding-high mode

@@ -12,6 +12,7 @@ use sna_spice::units::PS;
 
 use crate::corners::{corner_by_name, run_corners};
 use crate::driver::FlowOptions;
+use crate::metrics::metrics_to_json;
 use crate::output::{to_csv, to_json, to_text, RunSummary};
 
 /// Output format of the report.
@@ -23,6 +24,18 @@ pub enum Format {
     Json,
     /// One CSV row per net per corner.
     Csv,
+}
+
+/// How chatty the stderr diagnostics are. Stdout (the report) is never
+/// affected: the levels only gate the out-of-band progress lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No stderr diagnostics at all.
+    Quiet,
+    /// Cache and throughput summary lines (the default).
+    Normal,
+    /// Normal plus a one-line phase-timing summary.
+    Verbose,
 }
 
 /// Parsed CLI configuration.
@@ -51,6 +64,12 @@ pub struct CliConfig {
     /// Compute backend for the K-lane batched characterization sweeps
     /// (bit-identical results across backends).
     pub backend: BackendKind,
+    /// Write an `sna-metrics-v1` JSON document here after the run.
+    pub metrics: Option<String>,
+    /// Write a chrome-trace (`chrome://tracing` / Perfetto) JSON here.
+    pub profile: Option<String>,
+    /// stderr diagnostics level.
+    pub log_level: LogLevel,
 }
 
 impl Default for CliConfig {
@@ -66,6 +85,9 @@ impl Default for CliConfig {
             format: Format::Text,
             solver: SolverKind::Auto,
             backend: BackendKind::default(),
+            metrics: None,
+            profile: None,
+            log_level: LogLevel::Normal,
         }
     }
 }
@@ -97,11 +119,19 @@ OPTIONS:
                           compute backend for the K-lane batched
                           characterization sweeps (results are
                           bit-identical across backends)
+    --metrics <PATH>      write an sna-metrics-v1 JSON document (solver /
+                          dc / tran / sweep counters, cache breakdown,
+                          pool timings, phase tree) after the run
+    --profile <PATH>      write a chrome-trace JSON (load in
+                          chrome://tracing or https://ui.perfetto.dev)
+    --quiet               suppress all stderr diagnostics
+    --verbose             add a one-line phase-timing summary to stderr
     --help                print this help
 
 The report (stdout) is a pure function of the design and options: a run at
---threads N is byte-identical to --threads 1. Cache statistics and timing
-go to stderr.";
+--threads N is byte-identical to --threads 1, with or without --metrics or
+--profile. Cache statistics and timing go to stderr; metrics and profiles
+go to their own files, never stdout.";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
     let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -172,6 +202,10 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     other => return Err(format!("unknown backend '{other}'")),
                 };
             }
+            "--metrics" => cfg.metrics = Some(parse_value(arg, it.next())?),
+            "--profile" => cfg.profile = Some(parse_value(arg, it.next())?),
+            "--quiet" => cfg.log_level = LogLevel::Quiet,
+            "--verbose" => cfg.log_level = LogLevel::Verbose,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -189,6 +223,14 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
 /// Propagates corner resolution, NRC characterization, and (strict-mode)
 /// per-cluster failures.
 pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
+    // Observability is strictly out-of-band: enabling it changes stderr and
+    // the metrics/profile files, never the report on stdout.
+    if cfg.metrics.is_some() || cfg.profile.is_some() || cfg.log_level == LogLevel::Verbose {
+        sna_obs::set_timing_enabled(true);
+    }
+    if cfg.profile.is_some() {
+        sna_obs::set_tracing_enabled(true);
+    }
     let corners: Vec<Technology> = cfg
         .corners
         .iter()
@@ -212,18 +254,48 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
     let corner_reports = run_corners(&corners, cfg.clusters, cfg.seed, &opts)?;
     let elapsed = started.elapsed();
     let total_clusters: usize = corner_reports.iter().map(|c| c.flow.report.total()).sum();
-    for c in &corner_reports {
+    if cfg.log_level >= LogLevel::Normal {
+        for c in &corner_reports {
+            eprintln!(
+                "[{}] {} threads, cache {} hits / {} misses",
+                c.tech, c.flow.threads, c.flow.cache.hits, c.flow.cache.misses
+            );
+        }
         eprintln!(
-            "[{}] {} threads, cache {} hits / {} misses",
-            c.tech, c.flow.threads, c.flow.cache.hits, c.flow.cache.misses
+            "analyzed {} clusters in {:.2} s ({:.1} clusters/s)",
+            total_clusters,
+            elapsed.as_secs_f64(),
+            total_clusters as f64 / elapsed.as_secs_f64().max(1e-9),
         );
     }
-    eprintln!(
-        "analyzed {} clusters in {:.2} s ({:.1} clusters/s)",
-        total_clusters,
-        elapsed.as_secs_f64(),
-        total_clusters as f64 / elapsed.as_secs_f64().max(1e-9),
-    );
+    if cfg.metrics.is_some() || cfg.log_level == LogLevel::Verbose {
+        let snap = sna_obs::snapshot();
+        if cfg.log_level == LogLevel::Verbose {
+            let timed: Vec<String> = sna_obs::ALL_PHASES
+                .iter()
+                .filter_map(|&p| {
+                    let ns = snap.phase_nanos(p);
+                    (ns > 0).then(|| format!("{} {:.1}ms", p.name(), ns as f64 / 1e6))
+                })
+                .collect();
+            eprintln!("phases: {}", timed.join(", "));
+        }
+        if let Some(path) = &cfg.metrics {
+            let doc = metrics_to_json(&snap, &corner_reports, elapsed.as_secs_f64());
+            std::fs::write(path, doc).map_err(|e| {
+                sna_spice::error::Error::InvalidAnalysis(format!(
+                    "cannot write metrics file '{path}': {e}"
+                ))
+            })?;
+        }
+    }
+    if let Some(path) = &cfg.profile {
+        std::fs::write(path, sna_obs::render_chrome_trace()).map_err(|e| {
+            sna_spice::error::Error::InvalidAnalysis(format!(
+                "cannot write profile file '{path}': {e}"
+            ))
+        })?;
+    }
     let run = RunSummary {
         clusters: cfg.clusters,
         seed: cfg.seed,
@@ -316,6 +388,27 @@ mod tests {
         assert!(parse_args(&args(&["--backend", "gpu"]))
             .unwrap_err()
             .contains("unknown backend"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let cfg = parse_args(&args(&[
+            "--metrics",
+            "m.json",
+            "--profile",
+            "trace.json",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.metrics.as_deref(), Some("m.json"));
+        assert_eq!(cfg.profile.as_deref(), Some("trace.json"));
+        assert_eq!(cfg.log_level, LogLevel::Verbose);
+        // Last level flag wins.
+        let cfg = parse_args(&args(&["--verbose", "--quiet"])).unwrap();
+        assert_eq!(cfg.log_level, LogLevel::Quiet);
+        assert!(parse_args(&args(&["--metrics"]))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! its own receiver NRC, and its own parallel flow run.
 
 use sna_cells::{Cell, Technology};
+use sna_core::library::{ArtifactKind, NoiseModelLibrary};
 use sna_core::nrc::characterize_nrc_with;
 use sna_core::sna::Design;
+use sna_obs::{phase_span, trace_span, Phase};
 use sna_spice::error::{Error, Result};
 use sna_spice::units::PS;
 
-use crate::driver::{run_sna_parallel, FlowOptions, FlowReport};
+use crate::driver::{run_sna_parallel_with, FlowOptions, FlowReport};
 
 /// The flow result at one process corner.
 #[derive(Debug, Clone)]
@@ -55,14 +57,20 @@ pub fn run_corners(
 ) -> Result<Vec<CornerReport>> {
     let mut out = Vec::with_capacity(corners.len());
     for tech in corners {
+        let _t = phase_span(Phase::Corner);
+        let _tr = trace_span("corner", &tech.name);
         let design = Design::random(tech, n_clusters, seed);
+        // The corner owns the characterization cache so the NRC sweep shows
+        // up in its per-artifact-kind statistics alongside the flow's work.
+        let library = NoiseModelLibrary::new();
+        library.record_uncached(ArtifactKind::Nrc);
         let nrc = characterize_nrc_with(
             &Cell::inv(tech.clone(), 1.0),
             true,
             &NRC_WIDTHS,
             opts.mm.solver,
         )?;
-        let flow = run_sna_parallel(&design, &nrc, opts)?;
+        let flow = run_sna_parallel_with(&design, &nrc, opts, &library)?;
         out.push(CornerReport {
             tech: tech.name.clone(),
             flow,

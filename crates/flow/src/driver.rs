@@ -14,9 +14,10 @@ use sna_core::cluster::MacromodelOptions;
 use sna_core::library::{LibraryStats, NoiseModelLibrary};
 use sna_core::nrc::NoiseRejectionCurve;
 use sna_core::sna::{analyze_cluster, Design, NoiseReport, SkippedCluster, SnaOptions};
+use sna_obs::{phase_span, trace_span, Phase};
 use sna_spice::error::Result;
 
-use crate::pool::{auto_threads, parallel_map_ordered};
+use crate::pool::{auto_threads, parallel_map_ordered_metered, PoolMetrics};
 
 /// Controls for a parallel flow run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -40,6 +41,11 @@ pub struct FlowReport {
     pub cache: LibraryStats,
     /// Worker count actually used.
     pub threads: usize,
+    /// Pool execution metrics (diagnostic; timing varies run-to-run and is
+    /// never serialized into the noise report).
+    pub pool: PoolMetrics,
+    /// Wall time per cluster (name, ns), in design order (diagnostic).
+    pub cluster_wall_nanos: Vec<(String, u64)>,
 }
 
 /// Run static noise analysis over `design` on a worker pool.
@@ -55,6 +61,26 @@ pub fn run_sna_parallel(
     nrc: &NoiseRejectionCurve,
     opts: &FlowOptions,
 ) -> Result<FlowReport> {
+    run_sna_parallel_with(design, nrc, opts, &NoiseModelLibrary::new())
+}
+
+/// As [`run_sna_parallel`], but characterizing into a caller-provided
+/// library. This lets a multi-corner driver own the cache (and its
+/// per-artifact-kind statistics) across the NRC characterization and the
+/// flow run, rather than losing the NRC's bookkeeping to an internal
+/// library that is dropped on return.
+///
+/// # Errors
+///
+/// As [`run_sna_parallel`].
+pub fn run_sna_parallel_with(
+    design: &Design,
+    nrc: &NoiseRejectionCurve,
+    opts: &FlowOptions,
+    library: &NoiseModelLibrary,
+) -> Result<FlowReport> {
+    let _t = phase_span(Phase::Flow);
+    let _tr = trace_span("flow", "run_sna_parallel");
     // Mirror the pool's clamp so FlowReport::threads reports the worker
     // count actually used, not the requested one.
     let threads = if opts.threads == 0 {
@@ -63,7 +89,6 @@ pub fn run_sna_parallel(
         opts.threads
     }
     .clamp(1, design.clusters.len().max(1));
-    let library = NoiseModelLibrary::new();
     // Strict-mode early exit: once any cluster fails, analyzing clusters
     // *after* it (in design order) is wasted work — the run will abort
     // with the first design-order error regardless. Workers keep analyzing
@@ -74,7 +99,7 @@ pub fn run_sna_parallel(
     // real failure, so the merge loop below never reaches it.
     let min_fail = std::sync::atomic::AtomicUsize::new(usize::MAX);
     let strict = opts.sna.strict;
-    let outcomes = parallel_map_ordered(threads, &design.clusters, |i, cluster| {
+    let (outcomes, pool) = parallel_map_ordered_metered(threads, &design.clusters, |i, cluster| {
         use std::sync::atomic::Ordering;
         if strict && i > min_fail.load(Ordering::Relaxed) {
             return Err((
@@ -84,7 +109,9 @@ pub fn run_sna_parallel(
                 ),
             ));
         }
-        analyze_cluster(cluster, nrc, &opts.sna, &opts.mm, &library).map_err(|e| {
+        let _t = phase_span(Phase::Cluster);
+        let _tr = trace_span("cluster", &cluster.name);
+        analyze_cluster(cluster, nrc, &opts.sna, &opts.mm, library).map_err(|e| {
             if strict {
                 min_fail.fetch_min(i, Ordering::Relaxed);
             }
@@ -102,10 +129,18 @@ pub fn run_sna_parallel(
             }),
         }
     }
+    let cluster_wall_nanos = design
+        .clusters
+        .iter()
+        .map(|c| c.name.clone())
+        .zip(pool.job_nanos.iter().copied())
+        .collect();
     Ok(FlowReport {
         report,
         cache: library.stats(),
         threads,
+        pool,
+        cluster_wall_nanos,
     })
 }
 
@@ -145,6 +180,11 @@ mod tests {
         assert_eq!(par.threads, 3);
         // The shared cache did real work.
         assert!(par.cache.hits + par.cache.misses > 0);
+        // Pool metrics cover every worker and every cluster.
+        assert_eq!(par.pool.worker_busy_nanos.len(), 3);
+        assert_eq!(par.pool.worker_jobs.iter().sum::<usize>(), 6);
+        assert_eq!(par.cluster_wall_nanos.len(), 6);
+        assert!(par.cluster_wall_nanos.iter().all(|(_, ns)| *ns > 0));
     }
 
     #[test]

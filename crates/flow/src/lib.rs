@@ -18,18 +18,21 @@
 pub mod cli;
 pub mod corners;
 pub mod driver;
+pub mod metrics;
 pub mod output;
 pub mod pool;
 
 pub use corners::{corner_by_name, run_corners, CornerReport};
-pub use driver::{run_sna_parallel, FlowOptions, FlowReport};
-pub use pool::{auto_threads, parallel_map_ordered};
+pub use driver::{run_sna_parallel, run_sna_parallel_with, FlowOptions, FlowReport};
+pub use metrics::metrics_to_json;
+pub use pool::{auto_threads, parallel_map_ordered, parallel_map_ordered_metered, PoolMetrics};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::cli::{parse_args, CliConfig, Format};
+    pub use crate::cli::{parse_args, CliConfig, Format, LogLevel};
     pub use crate::corners::{corner_by_name, run_corners, CornerReport};
-    pub use crate::driver::{run_sna_parallel, FlowOptions, FlowReport};
+    pub use crate::driver::{run_sna_parallel, run_sna_parallel_with, FlowOptions, FlowReport};
+    pub use crate::metrics::metrics_to_json;
     pub use crate::output::{to_csv, to_json, to_text, RunSummary};
-    pub use crate::pool::{auto_threads, parallel_map_ordered};
+    pub use crate::pool::{auto_threads, parallel_map_ordered, parallel_map_ordered_metered};
 }

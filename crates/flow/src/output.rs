@@ -275,6 +275,8 @@ mod tests {
                     report,
                     cache: LibraryStats::default(),
                     threads: 2,
+                    pool: crate::pool::PoolMetrics::default(),
+                    cluster_wall_nanos: Vec::new(),
                 },
             }],
         }

@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Number of chunks each worker should expect to claim on a balanced
 /// workload. Smaller chunks balance better when job costs vary (cluster
@@ -19,6 +20,22 @@ use std::sync::mpsc;
 /// length); larger chunks amortize cursor contention. 4 per worker is the
 /// classic guided-scheduling compromise.
 const CHUNKS_PER_WORKER: usize = 4;
+
+/// Execution metrics of one pool run, reported out-of-band: the mapped
+/// results are bit-identical whether or not anyone looks at these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Nanoseconds each worker spent inside job closures (busy time).
+    pub worker_busy_nanos: Vec<u64>,
+    /// Jobs completed per worker.
+    pub worker_jobs: Vec<usize>,
+    /// Chunks claimed off the shared cursor per worker.
+    pub worker_chunks: Vec<usize>,
+    /// Wall time of each job (ns), in job order.
+    pub job_nanos: Vec<u64>,
+    /// Wall time of the whole map (ns).
+    pub wall_nanos: u64,
+}
 
 /// Map `f` over `items` on `threads` workers, preserving item order in the
 /// output. `f(i, &items[i])` must be a pure function of its arguments (plus
@@ -34,50 +51,110 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_ordered_metered(threads, items, f).0
+}
+
+/// As [`parallel_map_ordered`], additionally reporting per-worker and
+/// per-job timing as [`PoolMetrics`]. The two Instant reads per job are
+/// noise against cluster-solve costs, so the plain API is just a wrapper
+/// that drops the metrics.
+pub fn parallel_map_ordered_metered<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, PoolMetrics)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolMetrics::default());
     }
+    let t_wall = Instant::now();
     let threads = threads.clamp(1, n);
+    let mut metrics = PoolMetrics {
+        job_nanos: vec![0; n],
+        ..PoolMetrics::default()
+    };
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                let t = Instant::now();
+                let r = f(i, it);
+                metrics.job_nanos[i] = t.elapsed().as_nanos() as u64;
+                r
+            })
+            .collect();
+        metrics.worker_busy_nanos = vec![metrics.job_nanos.iter().sum()];
+        metrics.worker_jobs = vec![n];
+        metrics.worker_chunks = vec![1];
+        metrics.wall_nanos = t_wall.elapsed().as_nanos() as u64;
+        return (out, metrics);
     }
     let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, R, u64)>();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let mut worker_stats = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for (off, item) in items[start..end].iter().enumerate() {
-                    let i = start + off;
-                    // The receiver lives for the whole scope, so send only
-                    // fails if the caller's collection loop panicked; bail
-                    // quietly rather than double-panic.
-                    if tx.send((i, f(i, item))).is_err() {
-                        return;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let (mut busy, mut jobs, mut chunks) = (0u64, 0usize, 0usize);
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        chunks += 1;
+                        let end = (start + chunk).min(n);
+                        for (off, item) in items[start..end].iter().enumerate() {
+                            let i = start + off;
+                            let t = Instant::now();
+                            let r = f(i, item);
+                            let ns = t.elapsed().as_nanos() as u64;
+                            busy += ns;
+                            jobs += 1;
+                            // The receiver lives for the whole scope, so send
+                            // only fails if the caller's collection loop
+                            // panicked; bail quietly rather than double-panic.
+                            if tx.send((i, r, ns)).is_err() {
+                                return (busy, jobs, chunks);
+                            }
+                        }
                     }
-                }
-            });
-        }
+                    (busy, jobs, chunks)
+                })
+            })
+            .collect();
         drop(tx); // the scope's clones keep the channel open as needed
-        for (i, r) in rx {
+        for (i, r, ns) in rx {
             slots[i] = Some(r);
+            metrics.job_nanos[i] = ns;
+        }
+        for h in handles {
+            worker_stats.push(h.join().expect("pool worker panicked"));
         }
     });
-    slots
+    for (busy, jobs, chunks) in worker_stats {
+        metrics.worker_busy_nanos.push(busy);
+        metrics.worker_jobs.push(jobs);
+        metrics.worker_chunks.push(chunks);
+    }
+    metrics.wall_nanos = t_wall.elapsed().as_nanos() as u64;
+    let out = slots
         .into_iter()
         .map(|slot| slot.expect("every job index produces exactly one result"))
-        .collect()
+        .collect();
+    (out, metrics)
 }
 
 /// The thread count to use when the caller passes 0 ("auto"): the machine's
@@ -143,5 +220,26 @@ mod tests {
     #[test]
     fn auto_threads_is_positive() {
         assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn metered_map_accounts_every_job_to_exactly_one_worker() {
+        let items: Vec<usize> = (0..41).collect();
+        for threads in [1, 4] {
+            let (out, m) = parallel_map_ordered_metered(threads, &items, |_, &x| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+            assert_eq!(m.worker_busy_nanos.len(), threads);
+            assert_eq!(m.worker_jobs.iter().sum::<usize>(), items.len());
+            assert!(m.worker_chunks.iter().sum::<usize>() >= 1);
+            assert_eq!(m.job_nanos.len(), items.len());
+            assert!(m.job_nanos.iter().all(|&ns| ns > 0));
+            // Busy time is the sum of the per-job walls, give or take
+            // bookkeeping; wall covers the whole map.
+            assert!(m.wall_nanos > 0);
+            assert!(m.worker_busy_nanos.iter().sum::<u64>() >= m.job_nanos.iter().sum::<u64>());
+        }
     }
 }

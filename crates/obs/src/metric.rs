@@ -1,0 +1,130 @@
+//! The fixed counter vocabulary.
+//!
+//! Counters are indexed by a dense `usize` so a recorder is a flat array
+//! of atomics — no hashing, no allocation, no locks on the hot path.
+
+/// One monotonic counter. The set is closed by design: every layer that
+/// wants a new counter adds a variant here, and every snapshot/report
+/// iterates [`ALL_METRICS`] so nothing can be silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// `SystemSolver` instances that chose the dense route.
+    SolverDenseSelected = 0,
+    /// `SystemSolver` instances that chose the sparse route.
+    SolverSparseSelected,
+    /// Cold dense LU factorizations (fresh pivot search).
+    SolverFactorsDense,
+    /// In-place dense refactorizations reusing the stored pivot sequence.
+    SolverRefactorsDense,
+    /// Cold sparse LU factorizations (numeric phase with pivot search).
+    SolverFactorsSparse,
+    /// Sparse numeric refactors replaying the stored pattern/pivots.
+    SolverRefactorsSparse,
+    /// Sparse refactor attempts that failed (tiny pivot) and fell back to
+    /// a cold factorization.
+    SolverColdFallbacks,
+    /// Triangular solves against a held factorization.
+    SolverSolves,
+    /// DC operating points computed (one per Newton ladder entry).
+    DcSolves,
+    /// Newton iterations across all DC stages (plain, gmin, source).
+    DcNewtonIterations,
+    /// DC solves that had to enter the gmin-stepping fallback.
+    DcGminFallbacks,
+    /// DC solves that had to enter the source-stepping fallback.
+    DcSourceStepFallbacks,
+    /// Transient analyses run (fixed-step and adaptive).
+    TranCalls,
+    /// Accepted transient time steps (fixed-step: all steps).
+    TranSteps,
+    /// Newton iterations inside transient steps (0 for linear circuits).
+    TranNewtonIterations,
+    /// Adaptive steps accepted by the local-truncation-error test.
+    TranAcceptedSteps,
+    /// Adaptive steps rejected (halved and retried).
+    TranRejectedSteps,
+    /// Batched K-lane sweep analyses run (DC or transient).
+    SweepCalls,
+    /// Total lanes carried by those sweeps (sum of K).
+    SweepLanes,
+    /// Per-lane Newton iterations inside masked batched Newton loops.
+    SweepLaneNewtonIterations,
+    /// Lanes the batched Newton abandoned to the deterministic serial
+    /// ladder (the correctness backstop for resistant corners).
+    SweepSerialFallbacks,
+    /// Lock-step transient steps taken by batched sweeps.
+    SweepSteps,
+}
+
+/// Number of [`Metric`] variants; recorders are `[AtomicU64; METRIC_COUNT]`.
+pub const METRIC_COUNT: usize = 22;
+
+/// Every metric, in index order. Reports iterate this so the document and
+/// the enum can never drift apart.
+pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
+    Metric::SolverDenseSelected,
+    Metric::SolverSparseSelected,
+    Metric::SolverFactorsDense,
+    Metric::SolverRefactorsDense,
+    Metric::SolverFactorsSparse,
+    Metric::SolverRefactorsSparse,
+    Metric::SolverColdFallbacks,
+    Metric::SolverSolves,
+    Metric::DcSolves,
+    Metric::DcNewtonIterations,
+    Metric::DcGminFallbacks,
+    Metric::DcSourceStepFallbacks,
+    Metric::TranCalls,
+    Metric::TranSteps,
+    Metric::TranNewtonIterations,
+    Metric::TranAcceptedSteps,
+    Metric::TranRejectedSteps,
+    Metric::SweepCalls,
+    Metric::SweepLanes,
+    Metric::SweepLaneNewtonIterations,
+    Metric::SweepSerialFallbacks,
+    Metric::SweepSteps,
+];
+
+impl Metric {
+    /// Stable snake_case name used in `sna-metrics-v1` documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::SolverDenseSelected => "dense_selected",
+            Metric::SolverSparseSelected => "sparse_selected",
+            Metric::SolverFactorsDense => "factors_dense",
+            Metric::SolverRefactorsDense => "refactors_dense",
+            Metric::SolverFactorsSparse => "factors_sparse",
+            Metric::SolverRefactorsSparse => "refactors_sparse",
+            Metric::SolverColdFallbacks => "cold_fallbacks",
+            Metric::SolverSolves => "solves",
+            Metric::DcSolves => "solves",
+            Metric::DcNewtonIterations => "newton_iterations",
+            Metric::DcGminFallbacks => "gmin_fallbacks",
+            Metric::DcSourceStepFallbacks => "source_step_fallbacks",
+            Metric::TranCalls => "calls",
+            Metric::TranSteps => "steps",
+            Metric::TranNewtonIterations => "newton_iterations",
+            Metric::TranAcceptedSteps => "accepted_steps",
+            Metric::TranRejectedSteps => "rejected_steps",
+            Metric::SweepCalls => "calls",
+            Metric::SweepLanes => "lanes",
+            Metric::SweepLaneNewtonIterations => "lane_newton_iterations",
+            Metric::SweepSerialFallbacks => "serial_fallbacks",
+            Metric::SweepSteps => "steps",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metrics_covers_every_index_exactly_once() {
+        for (i, m) in ALL_METRICS.iter().enumerate() {
+            assert_eq!(*m as usize, i, "{m:?} out of place");
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! characterization grids (paper Eq. 1) cheap.
 
 use serde::{Deserialize, Serialize};
+use sna_obs::{count, phase_span, Metric, Phase};
 
 use crate::error::{Error, Result};
 use crate::mna::MnaSystem;
@@ -119,6 +120,7 @@ fn newton_solve(
     if !mna.has_nonlinear() && extra_gmin == 0.0 {
         solver.factor_base()?;
         solver.solve_into(b, &mut x);
+        count(Metric::DcNewtonIterations, 1);
         return Ok((x, 1));
     }
     let mut residual = vec![0.0; dim];
@@ -161,9 +163,11 @@ fn newton_solve(
             }
         }
         if converged && scale == 1.0 {
+            count(Metric::DcNewtonIterations, (it + 1) as u64);
             return Ok((x, it + 1));
         }
     }
+    count(Metric::DcNewtonIterations, opts.max_iter as u64);
     // Final residual for the error report.
     solver.g_mul_into(&x, &mut residual);
     for (r, bv) in residual.iter_mut().zip(b) {
@@ -225,6 +229,8 @@ pub fn dc_operating_point_with(
     mna: &MnaSystem,
     solver: &mut SystemSolver,
 ) -> Result<DcSolution> {
+    let _t = phase_span(Phase::Dc);
+    count(Metric::DcSolves, 1);
     let dim = mna.dim();
     solver.set_alpha(0.0);
     let b = mna.rhs(circuit, 0.0, 1.0);
@@ -242,6 +248,7 @@ pub fn dc_operating_point_with(
         });
     }
     // 2. Gmin stepping: heavy shunt conductance, relaxed geometrically.
+    count(Metric::DcGminFallbacks, 1);
     let mut x = x0.clone();
     let mut total_iters = 0;
     let mut gmin = 1e-2;
@@ -270,6 +277,7 @@ pub fn dc_operating_point_with(
         }
     }
     // 3. Source stepping.
+    count(Metric::DcSourceStepFallbacks, 1);
     let mut x = vec![0.0; dim];
     let mut total_iters = 0;
     let steps = 20;

@@ -10,6 +10,7 @@
 //! interconnect switches to sparse, and both can be forced for A/B testing.
 
 use serde::{Deserialize, Serialize};
+use sna_obs::{count, phase_span, Metric, Phase};
 
 use crate::error::Result;
 use crate::linalg::{DenseMatrix, LuFactors, MatrixStamp, PatternCollector};
@@ -168,6 +169,14 @@ impl SystemSolver {
                 lu: None,
             }
         };
+        count(
+            if matches!(backend, Backend::Sparse { .. }) {
+                Metric::SolverSparseSelected
+            } else {
+                Metric::SolverDenseSelected
+            },
+            1,
+        );
         Self {
             dim,
             alpha: 0.0,
@@ -280,18 +289,30 @@ impl SystemSolver {
     pub fn factor_jacobian(&mut self) -> Result<()> {
         match &mut self.backend {
             Backend::Dense { jac, lu, .. } => match lu {
-                Some(f) => f.refactor(jac),
+                Some(f) => {
+                    let _t = phase_span(Phase::Refactor);
+                    count(Metric::SolverRefactorsDense, 1);
+                    f.refactor(jac)
+                }
                 None => {
+                    let _t = phase_span(Phase::Factor);
+                    count(Metric::SolverFactorsDense, 1);
                     *lu = Some(jac.lu()?);
                     Ok(())
                 }
             },
             Backend::Sparse { jac, sym, lu, .. } => {
                 if let Some(f) = lu {
+                    let _t = phase_span(Phase::Refactor);
                     if f.refactor(jac).is_ok() {
+                        count(Metric::SolverRefactorsSparse, 1);
                         return Ok(());
                     }
+                    // A stored pivot collapsed under the new values.
+                    count(Metric::SolverColdFallbacks, 1);
                 }
+                let _t = phase_span(Phase::Factor);
+                count(Metric::SolverFactorsSparse, 1);
                 *lu = Some(SparseLu::factor(jac, sym)?);
                 Ok(())
             }
@@ -317,14 +338,19 @@ impl SystemSolver {
     ///
     /// [`crate::Error::SingularMatrix`] on a singular base matrix.
     pub fn factor_base_owned(&mut self) -> Result<OwnedFactor> {
+        let _t = phase_span(Phase::Factor);
         match &mut self.backend {
-            Backend::Dense { base, .. } => Ok(OwnedFactor::Dense(base.lu()?)),
+            Backend::Dense { base, .. } => {
+                count(Metric::SolverFactorsDense, 1);
+                Ok(OwnedFactor::Dense(base.lu()?))
+            }
             Backend::Sparse {
                 jac,
                 base_vals,
                 sym,
                 ..
             } => {
+                count(Metric::SolverFactorsSparse, 1);
                 jac.values_mut().copy_from_slice(base_vals);
                 Ok(OwnedFactor::Sparse(Box::new(SparseLu::factor(jac, sym)?)))
             }
@@ -339,6 +365,8 @@ impl SystemSolver {
     ///
     /// Panics if called before a successful factorization.
     pub fn solve_into(&mut self, b: &[f64], x: &mut [f64]) {
+        let _t = phase_span(Phase::Solve);
+        count(Metric::SolverSolves, 1);
         match &mut self.backend {
             Backend::Dense { lu, .. } => {
                 lu.as_ref().expect("factor before solve").solve_into(b, x);

@@ -18,6 +18,8 @@
 //! resist the plain batched Newton fall back—deterministically—to the
 //! serial continuation ladder of [`dc_operating_point`].
 
+use sna_obs::{count, phase_span, Metric, Phase};
+
 use crate::backend::{backend_for, BackendKind, BatchedDenseLu, ComputeBackend};
 use crate::dc::{dc_operating_point, vsource_names, DcSolution, NewtonOptions};
 use crate::error::{Error, Result};
@@ -584,6 +586,9 @@ impl BatchedSweep {
         warm: Option<&[Vec<f64>]>,
     ) -> Result<Vec<DcSolution>> {
         self.check(circuits)?;
+        let _t = phase_span(Phase::Sweep);
+        count(Metric::SweepCalls, 1);
+        count(Metric::SweepLanes, self.k as u64);
         self.set_alpha(0.0);
         let (k, dim, n_nodes) = (self.k, self.dim, self.n_nodes);
         self.fill_b_cur(circuits, 0.0);
@@ -707,11 +712,16 @@ impl BatchedSweep {
                 }
             }
         }
+        count(
+            Metric::SweepLaneNewtonIterations,
+            iters.iter().sum::<usize>() as u64,
+        );
         // Serial continuation-ladder fallback for unconverged lanes.
         for lane in 0..k {
             if !self.active[lane] {
                 continue;
             }
+            count(Metric::SweepSerialFallbacks, 1);
             let mut lane_opts = *opts;
             lane_opts.solver = self.kind;
             let warm_lane = if warm_ok {
@@ -753,6 +763,7 @@ impl BatchedSweep {
         let mut total = 0usize;
         for _ in 0..newton.max_iter {
             if !self.active.iter().any(|&a| a) {
+                count(Metric::SweepLaneNewtonIterations, total as u64);
                 return Ok(total);
             }
             let Self {
@@ -833,6 +844,7 @@ impl BatchedSweep {
                 residual: max_res,
             });
         }
+        count(Metric::SweepLaneNewtonIterations, total as u64);
         Ok(total)
     }
 
@@ -861,6 +873,9 @@ impl BatchedSweep {
             )));
         }
         self.check(circuits)?;
+        let _t = phase_span(Phase::Sweep);
+        count(Metric::SweepCalls, 1);
+        count(Metric::SweepLanes, self.k as u64);
         let (k, dim, n_nodes) = (self.k, self.dim, self.n_nodes);
         let n_steps = (params.t_stop / params.dt).round() as usize;
         // Initial condition per lane.
@@ -1002,6 +1017,7 @@ impl BatchedSweep {
                 }
             }
         }
+        count(Metric::SweepSteps, n_steps as u64);
         Ok(self.collect_results(circuits, times, traces, branch, total_newton))
     }
 
@@ -1038,6 +1054,9 @@ impl BatchedSweep {
             )));
         }
         self.check(circuits)?;
+        let _t = phase_span(Phase::Sweep);
+        count(Metric::SweepCalls, 1);
+        count(Metric::SweepLanes, self.k as u64);
         let (k, dim, n_nodes) = (self.k, self.dim, self.n_nodes);
         if opts.dc_init {
             let mut newton = opts.newton;
@@ -1138,6 +1157,7 @@ impl BatchedSweep {
             }
         }
         self.x.copy_from_slice(&x0);
+        count(Metric::SweepSteps, (times.len() - 1) as u64);
         Ok(self.collect_results(circuits, times, traces, branch, total_newton))
     }
 

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use sna_obs::{count, phase_span, Metric, Phase};
 
 use crate::dc::{dc_operating_point_with, NewtonOptions};
 use crate::error::{Error, Result};
@@ -178,6 +179,31 @@ pub struct TranWorkspace {
     node_count: usize,
     element_count: usize,
     value_hash: u64,
+    /// Per-run counters. Plain integers on the workspace — the stepping
+    /// loops must stay allocation-free, so they bump fields here and the
+    /// totals are flushed to `sna-obs` once per analysis call.
+    stats: TranStats,
+}
+
+/// Counters accumulated by one transient run (fixed or adaptive), flushed
+/// to the observability layer when the run completes.
+#[derive(Debug, Default, Clone, Copy)]
+struct TranStats {
+    steps: u64,
+    newton_iterations: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl TranStats {
+    fn flush(&mut self) {
+        count(Metric::TranCalls, 1);
+        count(Metric::TranSteps, self.steps);
+        count(Metric::TranNewtonIterations, self.newton_iterations);
+        count(Metric::TranAcceptedSteps, self.accepted);
+        count(Metric::TranRejectedSteps, self.rejected);
+        *self = TranStats::default();
+    }
 }
 
 /// Order-sensitive FNV-1a hash of every stamped element value *and* every
@@ -347,6 +373,7 @@ impl TranWorkspace {
             node_count: circuit.node_count(),
             element_count: circuit.elements().len(),
             value_hash: circuit_value_hash(circuit),
+            stats: TranStats::default(),
         })
     }
 
@@ -423,6 +450,8 @@ pub fn transient_with(
         )));
     }
     ws.check(circuit, params.solver)?;
+    let _t = phase_span(Phase::Tran);
+    ws.stats = TranStats::default();
     let dim = ws.mna.dim();
     let n_nodes = ws.mna.n_nodes();
     let n_steps = (params.t_stop / params.dt).round() as usize;
@@ -574,6 +603,9 @@ pub fn transient_with(
         .iter()
         .map(|id| circuit.element(*id).name().to_string())
         .collect();
+    ws.stats.steps = n_steps as u64;
+    ws.stats.newton_iterations = total_newton as u64;
+    ws.stats.flush();
     Ok(TranResult {
         times,
         traces,
@@ -758,6 +790,8 @@ pub fn transient_adaptive_with(
         )));
     }
     ws.check(circuit, opts.solver)?;
+    let _t = phase_span(Phase::Tran);
+    ws.stats = TranStats::default();
     let dim = ws.mna.dim();
     let n_nodes = ws.mna.n_nodes();
     let mut x: Vec<f64> = if opts.dc_init {
@@ -831,10 +865,12 @@ pub fn transient_adaptive_with(
             .zip(&x_half)
             .fold(0.0_f64, |a, (f, g)| a.max((f - g).abs()));
         if err > opts.ltol && h > opts.dt_min * 1.0001 {
+            ws.stats.rejected += 1;
             h = (0.5 * h).max(opts.dt_min);
             continue; // reject, retry smaller
         }
         // Accept the two-half-step (more accurate) solution.
+        ws.stats.accepted += 1;
         t += h;
         std::mem::swap(&mut x, &mut x_half);
         times.push(t);
@@ -857,6 +893,9 @@ pub fn transient_adaptive_with(
         .iter()
         .map(|id| circuit.element(*id).name().to_string())
         .collect();
+    ws.stats.steps = ws.stats.accepted;
+    ws.stats.newton_iterations = total_newton as u64;
+    ws.stats.flush();
     Ok(TranResult {
         times,
         traces,

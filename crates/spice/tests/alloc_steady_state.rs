@@ -217,6 +217,15 @@ fn assert_batched_alloc_free(
 
 #[test]
 fn stepping_loops_do_not_allocate_per_step() {
+    // Run with the observability layer fully armed: counters are always on,
+    // and enabling phase timing proves the span bookkeeping (two Instant
+    // reads + atomic adds into a pre-registered thread-local recorder) is
+    // allocation-free too. Only chrome-tracing allocates, and that never
+    // runs inside the stepping loops.
+    sna_obs::set_timing_enabled(true);
+    // Touch the thread-local recorder once so its one-time registration
+    // (an Arc + two boxed arrays) lands in setup, not in the measurement.
+    let _ = sna_obs::local_snapshot();
     let lin = ladder(120); // above the sparse auto threshold
     let nl = inverter();
     for kind in [SolverKind::Dense, SolverKind::Sparse] {

@@ -18,8 +18,20 @@ fn library_reuses_artifacts_across_clusters() {
     b.bus = m4_bus(&b.tech, 2, 700.0, 8); // different geometry, same cells
     let lib = NoiseModelLibrary::new();
     let opts = MacromodelOptions::default();
+    // Only the cached kinds can be reused; thevenin/nrc are recorded as
+    // always-miss uncached work and excluded from the reuse accounting.
+    let cached_misses = |st: &LibraryStats| {
+        [
+            ArtifactKind::LoadCurve,
+            ArtifactKind::HoldingR,
+            ArtifactKind::PropTable,
+        ]
+        .iter()
+        .map(|&k| st.kind(k).misses)
+        .sum::<usize>()
+    };
     let _ma = ClusterMacromodel::build_with_library(&a, &opts, &lib).expect("a");
-    let misses_after_first = lib.stats().misses;
+    let misses_after_first = cached_misses(&lib.stats());
     let _mb = ClusterMacromodel::build_with_library(&b, &opts, &lib).expect("b");
     assert!(
         lib.stats().hits >= 2,
@@ -29,7 +41,7 @@ fn library_reuses_artifacts_across_clusters() {
     // The load curve and holding resistance are shared; only the prop
     // table may re-characterize if the load bucket changed.
     assert!(
-        lib.stats().misses <= misses_after_first + 1,
+        cached_misses(&lib.stats()) <= misses_after_first + 1,
         "unexpected re-characterization: {:?}",
         lib.stats()
     );
