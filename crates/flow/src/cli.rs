@@ -11,6 +11,7 @@ use sna_spice::solver::SolverKind;
 use sna_spice::units::PS;
 
 use crate::corners::{corner_by_name, run_corners};
+use crate::deck::{deck_to_csv, deck_to_json, deck_to_text, run_deck_file, DeckOptions};
 use crate::driver::FlowOptions;
 use crate::metrics::metrics_to_json;
 use crate::output::{to_csv, to_json, to_text, RunSummary};
@@ -70,6 +71,14 @@ pub struct CliConfig {
     pub profile: Option<String>,
     /// stderr diagnostics level.
     pub log_level: LogLevel,
+    /// SPICE deck to analyze instead of the synthetic design generator.
+    pub deck: Option<String>,
+    /// Fallback noise threshold (V) for deck cases without `threshold=`.
+    pub threshold: Option<f64>,
+    /// Victim node for decks without a `.sna` card.
+    pub victim: Option<String>,
+    /// Aggressor sources for decks without a `.sna` card.
+    pub aggressors: Vec<String>,
 }
 
 impl Default for CliConfig {
@@ -88,6 +97,10 @@ impl Default for CliConfig {
             metrics: None,
             profile: None,
             log_level: LogLevel::Normal,
+            deck: None,
+            threshold: None,
+            victim: None,
+            aggressors: Vec::new(),
         }
     }
 }
@@ -98,6 +111,18 @@ sna — parallel full-chip static noise analysis (Forzan & Pandini macromodel)
 
 USAGE:
     sna [OPTIONS]
+    sna --deck <FILE> [OPTIONS]
+
+DECK MODE:
+    --deck <FILE>         analyze a SPICE deck (.subckt hierarchies are
+                          flattened; .model, E/G/F/H controlled sources,
+                          .ic and .include are honored) instead of the
+                          synthetic design generator; needs a .tran card
+    --threshold <V>       fallback noise threshold for .sna cards without
+                          threshold=, and for the --victim path
+    --victim <NODE>       victim node when the deck has no .sna card
+    --aggressors <LIST>   comma-separated aggressor V/I source names for
+                          the --victim path                  [default: none]
 
 OPTIONS:
     --clusters <N>        clusters per corner                 [default: 12]
@@ -202,6 +227,22 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     other => return Err(format!("unknown backend '{other}'")),
                 };
             }
+            "--deck" => cfg.deck = Some(parse_value(arg, it.next())?),
+            "--threshold" => {
+                let v: f64 = parse_value(arg, it.next())?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("--threshold must be a positive voltage, got {v}"));
+                }
+                cfg.threshold = Some(v);
+            }
+            "--victim" => cfg.victim = Some(parse_value(arg, it.next())?),
+            "--aggressors" => {
+                let raw: String = parse_value(arg, it.next())?;
+                cfg.aggressors = raw.split(',').map(|s| s.trim().to_string()).collect();
+                if cfg.aggressors.iter().any(String::is_empty) {
+                    return Err("--aggressors has an empty entry".into());
+                }
+            }
             "--metrics" => cfg.metrics = Some(parse_value(arg, it.next())?),
             "--profile" => cfg.profile = Some(parse_value(arg, it.next())?),
             "--quiet" => cfg.log_level = LogLevel::Quiet,
@@ -230,6 +271,9 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
     }
     if cfg.profile.is_some() {
         sna_obs::set_tracing_enabled(true);
+    }
+    if let Some(deck) = &cfg.deck {
+        return run_deck_mode(cfg, deck);
     }
     let corners: Vec<Technology> = cfg
         .corners
@@ -307,6 +351,73 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
         Format::Text => to_text(&run),
         Format::Json => to_json(&run),
         Format::Csv => to_csv(&run),
+    })
+}
+
+/// Deck-mode half of [`run`]: parse the deck, run its `.sna` cases, render.
+/// Shares the observability plumbing (stderr diagnostics, `--metrics`,
+/// `--profile`) with the synthetic flow; the stdout report stays a pure
+/// function of the deck and options.
+fn run_deck_mode(cfg: &CliConfig, deck: &str) -> sna_spice::error::Result<String> {
+    let threads = if cfg.threads == 0 {
+        crate::pool::auto_threads()
+    } else {
+        cfg.threads
+    };
+    let opts = DeckOptions {
+        threshold: cfg.threshold,
+        victim: cfg.victim.clone(),
+        aggressors: cfg.aggressors.clone(),
+        guard_band: cfg.guard_band,
+        strict: cfg.strict,
+        threads,
+        solver: cfg.solver,
+        backend: cfg.backend,
+    };
+    let started = std::time::Instant::now();
+    let report = run_deck_file(std::path::Path::new(deck), &opts)?;
+    let elapsed = started.elapsed();
+    if cfg.log_level >= LogLevel::Normal {
+        eprintln!(
+            "[deck] {} cases ({} skipped) in {:.2} s on {} threads",
+            report.findings.len(),
+            report.skipped.len(),
+            elapsed.as_secs_f64(),
+            threads,
+        );
+    }
+    if cfg.metrics.is_some() || cfg.log_level == LogLevel::Verbose {
+        let snap = sna_obs::snapshot();
+        if cfg.log_level == LogLevel::Verbose {
+            let timed: Vec<String> = sna_obs::ALL_PHASES
+                .iter()
+                .filter_map(|&p| {
+                    let ns = snap.phase_nanos(p);
+                    (ns > 0).then(|| format!("{} {:.1}ms", p.name(), ns as f64 / 1e6))
+                })
+                .collect();
+            eprintln!("phases: {}", timed.join(", "));
+        }
+        if let Some(path) = &cfg.metrics {
+            let doc = metrics_to_json(&snap, &[], elapsed.as_secs_f64());
+            std::fs::write(path, doc).map_err(|e| {
+                sna_spice::error::Error::InvalidAnalysis(format!(
+                    "cannot write metrics file '{path}': {e}"
+                ))
+            })?;
+        }
+    }
+    if let Some(path) = &cfg.profile {
+        std::fs::write(path, sna_obs::render_chrome_trace()).map_err(|e| {
+            sna_spice::error::Error::InvalidAnalysis(format!(
+                "cannot write profile file '{path}': {e}"
+            ))
+        })?;
+    }
+    Ok(match cfg.format {
+        Format::Text => deck_to_text(&report),
+        Format::Json => deck_to_json(&report),
+        Format::Csv => deck_to_csv(&report),
     })
 }
 
@@ -429,6 +540,61 @@ mod tests {
             .unwrap_err()
             .contains("unknown option"));
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn deck_flags_parse() {
+        let cfg = parse_args(&args(&[
+            "--deck",
+            "bus.cir",
+            "--threshold",
+            "0.4",
+            "--victim",
+            "vic",
+            "--aggressors",
+            "Va1, Va2",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.deck.as_deref(), Some("bus.cir"));
+        assert_eq!(cfg.threshold, Some(0.4));
+        assert_eq!(cfg.victim.as_deref(), Some("vic"));
+        assert_eq!(cfg.aggressors, ["Va1", "Va2"]);
+        assert!(parse_args(&args(&["--threshold", "-0.2"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_args(&args(&["--aggressors", "Va1,,Va2"]))
+            .unwrap_err()
+            .contains("empty entry"));
+    }
+
+    #[test]
+    fn run_deck_mode_end_to_end() {
+        let dir = std::env::temp_dir().join("sna_cli_deck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.cir");
+        std::fs::write(
+            &path,
+            "* pair\nVa agg 0 PULSE(0 1.2 1n 0.2n 0.2n 2n)\nCc agg vic 20f\n\
+             Rv vic 0 2k\nCv vic 0 30f\n.tran 0.05n 6n\n\
+             .sna victim=vic aggressors=Va threshold=0.4\n",
+        )
+        .unwrap();
+        let cfg = CliConfig {
+            deck: Some(path.display().to_string()),
+            format: Format::Json,
+            log_level: LogLevel::Quiet,
+            ..Default::default()
+        };
+        let json = run(&cfg).expect("deck run");
+        assert!(json.contains("\"schema\": \"sna-deck-report-v1\""));
+        assert!(json.contains("\"victim\": \"vic\""));
+        let text = run(&CliConfig {
+            format: Format::Text,
+            ..cfg.clone()
+        })
+        .expect("deck text run");
+        assert!(text.contains("summary:"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

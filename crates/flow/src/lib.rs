@@ -17,6 +17,7 @@
 
 pub mod cli;
 pub mod corners;
+pub mod deck;
 pub mod driver;
 pub mod metrics;
 pub mod output;
@@ -31,6 +32,10 @@ pub use pool::{auto_threads, parallel_map_ordered, parallel_map_ordered_metered,
 pub mod prelude {
     pub use crate::cli::{parse_args, CliConfig, Format, LogLevel};
     pub use crate::corners::{corner_by_name, run_corners, CornerReport};
+    pub use crate::deck::{
+        deck_to_csv, deck_to_json, deck_to_text, run_deck, run_deck_file, DeckFinding, DeckOptions,
+        DeckReport, DeckSkipped,
+    };
     pub use crate::driver::{run_sna_parallel, run_sna_parallel_with, FlowOptions, FlowReport};
     pub use crate::metrics::metrics_to_json;
     pub use crate::output::{to_csv, to_json, to_text, RunSummary};

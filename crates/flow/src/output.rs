@@ -27,7 +27,7 @@ pub struct RunSummary {
 }
 
 /// JSON string escaping per RFC 8259 (quotes, backslashes, control chars).
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -45,7 +45,7 @@ fn esc(s: &str) -> String {
 
 /// A float as a JSON value: shortest round-trip form, `null` for the
 /// non-finite values JSON cannot carry.
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -53,7 +53,7 @@ fn num(v: f64) -> String {
     }
 }
 
-fn verdict_tag(v: Verdict) -> &'static str {
+pub(crate) fn verdict_tag(v: Verdict) -> &'static str {
     match v {
         Verdict::Pass => "pass",
         Verdict::MarginWarning => "warn",

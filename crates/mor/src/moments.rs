@@ -51,6 +51,9 @@ pub fn port_admittance_moments(
             e,
             sna_spice::netlist::Element::VSource { .. }
                 | sna_spice::netlist::Element::ISource { .. }
+                | sna_spice::netlist::Element::Vcvs { .. }
+                | sna_spice::netlist::Element::Cccs { .. }
+                | sna_spice::netlist::Element::Ccvs { .. }
         ) {
             return Err(Error::InvalidAnalysis(
                 "moment computation requires a source-free network".into(),

@@ -51,7 +51,9 @@ impl Default for NewtonOptions {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcSolution {
     x: Vec<f64>,
-    n_nodes: usize,
+    /// Unknown index of each vsource's branch current, parallel to
+    /// `vsource_names`.
+    vsource_branch: Vec<usize>,
     vsource_names: Vec<String>,
     /// Newton iterations spent (diagnostic).
     pub iterations: usize,
@@ -61,13 +63,13 @@ impl DcSolution {
     /// Assemble a solution from raw parts (batched-sweep internal).
     pub(crate) fn from_parts(
         x: Vec<f64>,
-        n_nodes: usize,
+        vsource_branch: Vec<usize>,
         vsource_names: Vec<String>,
         iterations: usize,
     ) -> Self {
         Self {
             x,
-            n_nodes,
+            vsource_branch,
             vsource_names,
             iterations,
         }
@@ -88,7 +90,7 @@ impl DcSolution {
         self.vsource_names
             .iter()
             .position(|n| n.eq_ignore_ascii_case(name))
-            .map(|k| self.x[self.n_nodes + k])
+            .map(|k| self.x[self.vsource_branch[k]])
     }
 
     /// Raw unknown vector (nodes then branch currents).
@@ -242,7 +244,7 @@ pub fn dc_operating_point_with(
     if let Ok((x, iterations)) = newton_solve(circuit, mna, solver, &b, &x0, opts, 0.0, "dc", 0.0) {
         return Ok(DcSolution {
             x,
-            n_nodes: mna.n_nodes(),
+            vsource_branch: mna.vsource_branches().to_vec(),
             vsource_names: vsource_names(circuit, mna),
             iterations,
         });
@@ -270,7 +272,7 @@ pub fn dc_operating_point_with(
         if let Ok((x, it)) = newton_solve(circuit, mna, solver, &b, &x, opts, 0.0, "dc-gmin", 0.0) {
             return Ok(DcSolution {
                 x,
-                n_nodes: mna.n_nodes(),
+                vsource_branch: mna.vsource_branches().to_vec(),
                 vsource_names: vsource_names(circuit, mna),
                 iterations: total_iters + it,
             });
@@ -291,7 +293,7 @@ pub fn dc_operating_point_with(
     }
     Ok(DcSolution {
         x,
-        n_nodes: mna.n_nodes(),
+        vsource_branch: mna.vsource_branches().to_vec(),
         vsource_names: vsource_names(circuit, mna),
         iterations: total_iters,
     })

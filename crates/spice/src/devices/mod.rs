@@ -1,9 +1,12 @@
-//! Device models: independent sources, MOSFETs, and table-driven VCCS.
+//! Device models: independent sources, MOSFETs, diodes, and table-driven
+//! VCCS.
 
+pub mod diode;
 pub mod mosfet;
 pub mod sources;
 pub mod table2d;
 
+pub use diode::{DiodeEval, DiodeModel};
 pub use mosfet::{MosPolarity, MosfetEval, MosfetModel, TerminalEval};
 pub use sources::SourceWaveform;
 pub use table2d::{linspace, Table2d, TableEval};

@@ -83,18 +83,21 @@ pub mod prelude {
         NewtonOptions,
     };
     pub use crate::devices::{
-        linspace, MosPolarity, MosfetModel, SourceWaveform, Table2d, TableEval,
+        linspace, DiodeModel, MosPolarity, MosfetModel, SourceWaveform, Table2d, TableEval,
     };
     pub use crate::error::{Error, Result};
     pub use crate::linalg::{DenseMatrix, MatrixStamp};
     pub use crate::netlist::{Circuit, Element, ElementId, NodeId};
-    pub use crate::parser::{parse_deck, write_deck, ParsedDeck};
+    pub use crate::parser::{
+        dump_parsed, parse_deck, parse_deck_file, write_deck, ParsedDeck, SnaCard,
+    };
     pub use crate::solver::{SolverKind, SystemSolver, SPARSE_AUTO_THRESHOLD};
     pub use crate::sparse::{BatchedSparseLu, SparseLu, SparseMatrix, Symbolic};
     pub use crate::sweep::BatchedSweep;
     pub use crate::tran::{
-        transient, transient_adaptive, transient_adaptive_with, transient_with, AdaptiveOptions,
-        Integrator, TranParams, TranResult, TranWorkspace,
+        transient, transient_adaptive, transient_adaptive_with, transient_adaptive_with_ics,
+        transient_with, transient_with_ics, AdaptiveOptions, Integrator, TranParams, TranResult,
+        TranWorkspace,
     };
     pub use crate::units::*;
     pub use crate::waveform::{GlitchError, GlitchMetrics, Waveform};

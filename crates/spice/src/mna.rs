@@ -1,12 +1,16 @@
 //! Modified Nodal Analysis assembly.
 //!
 //! Unknown ordering: node voltages for nodes `1..node_count` (ground
-//! excluded) followed by one branch current per independent voltage source,
-//! in element order. The linear part is split into a conductance matrix `G`
-//! (resistors, linear VCCS, voltage-source incidence rows) and a capacitance
-//! matrix `C`, so transient integration can form `G + α·C` per step size.
-//! Non-linear devices (MOSFETs, table VCCS) contribute residual currents and
-//! Jacobian entries per Newton iteration via [`MnaSystem::stamp_nonlinear`].
+//! excluded) followed by one branch current per *voltage-defined* element
+//! — independent voltage sources and the E/H controlled sources — in
+//! element order. The linear part is split into a conductance matrix `G`
+//! (resistors, linear controlled sources, branch incidence rows) and a
+//! capacitance matrix `C`, so transient integration can form `G + α·C` per
+//! step size. Non-linear devices (MOSFETs, diodes, table VCCS) contribute
+//! residual currents and Jacobian entries per Newton iteration via
+//! [`MnaSystem::stamp_nonlinear`].
+
+use std::collections::HashMap;
 
 use crate::error::{Error, Result};
 use crate::linalg::{DenseMatrix, MatrixStamp};
@@ -23,8 +27,13 @@ pub struct MnaSystem {
     dim: usize,
     g: DenseMatrix,
     c: DenseMatrix,
-    /// Element ids of voltage sources, branch order.
+    /// Element ids of all branch-current elements (V/E/H), branch order.
+    branches: Vec<ElementId>,
+    /// Element ids of independent voltage sources, in element order.
     vsources: Vec<ElementId>,
+    /// Unknown index of each vsource's branch current, parallel to
+    /// `vsources` (no longer contiguous once E/H branches interleave).
+    vsource_branch: Vec<usize>,
     /// Element ids of current sources.
     isources: Vec<ElementId>,
     /// Element ids of nonlinear devices.
@@ -40,28 +49,47 @@ impl MnaSystem {
     pub fn new(circuit: &Circuit) -> Result<Self> {
         circuit.validate()?;
         let n_nodes = circuit.node_count() - 1;
-        let vsources: Vec<ElementId> = circuit
-            .elements()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e, Element::VSource { .. }))
-            .map(|(i, _)| ElementId(i))
-            .collect();
-        let isources: Vec<ElementId> = circuit
-            .elements()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| matches!(e, Element::ISource { .. }))
-            .map(|(i, _)| ElementId(i))
-            .collect();
-        let nonlinear: Vec<ElementId> = circuit
-            .elements()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.is_nonlinear())
-            .map(|(i, _)| ElementId(i))
-            .collect();
-        let dim = n_nodes + vsources.len();
+        // Pass 1: classify elements and assign branch slots. Doing this
+        // before stamping lets F/H elements resolve their controlling
+        // source's branch column even when it is defined later in the deck.
+        let mut branches: Vec<ElementId> = Vec::new();
+        let mut vsources: Vec<ElementId> = Vec::new();
+        let mut vsource_branch: Vec<usize> = Vec::new();
+        let mut isources: Vec<ElementId> = Vec::new();
+        let mut nonlinear: Vec<ElementId> = Vec::new();
+        // Lower-cased vsource name → branch unknown index, for F/H control
+        // resolution.
+        let mut vsrc_by_name: HashMap<String, usize> = HashMap::new();
+        for (i, e) in circuit.elements().iter().enumerate() {
+            let id = ElementId(i);
+            if e.has_branch_current() {
+                let bi = n_nodes + branches.len();
+                branches.push(id);
+                if let Element::VSource { name, .. } = e {
+                    vsources.push(id);
+                    vsource_branch.push(bi);
+                    vsrc_by_name.insert(name.to_ascii_lowercase(), bi);
+                }
+            }
+            if matches!(e, Element::ISource { .. }) {
+                isources.push(id);
+            }
+            if e.is_nonlinear() {
+                nonlinear.push(id);
+            }
+        }
+        let resolve_ctrl = |kind: &str, name: &str, ctrl: &str| -> Result<usize> {
+            vsrc_by_name
+                .get(&ctrl.to_ascii_lowercase())
+                .copied()
+                .ok_or_else(|| {
+                    Error::InvalidCircuit(format!(
+                        "{kind} {name}: controlling source '{ctrl}' is not an \
+                         independent voltage source in this circuit"
+                    ))
+                })
+        };
+        let dim = n_nodes + branches.len();
         if dim == 0 {
             return Err(Error::InvalidCircuit(
                 "circuit has no unknowns (only ground)".into(),
@@ -115,6 +143,72 @@ impl MnaSystem {
                         g.add(bi, j, -1.0);
                     }
                 }
+                Element::Vcvs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gain,
+                    ..
+                } => {
+                    // Branch row: v(out_p) − v(out_n) − gain·(v(ctrl_p) −
+                    // v(ctrl_n)) = 0; branch current enters the output KCL.
+                    let bi = n_nodes + branch;
+                    branch += 1;
+                    if let Some(i) = ui(*out_p) {
+                        g.add(i, bi, 1.0);
+                        g.add(bi, i, 1.0);
+                    }
+                    if let Some(j) = ui(*out_n) {
+                        g.add(j, bi, -1.0);
+                        g.add(bi, j, -1.0);
+                    }
+                    if let Some(j) = ui(*ctrl_p) {
+                        g.add(bi, j, -gain);
+                    }
+                    if let Some(j) = ui(*ctrl_n) {
+                        g.add(bi, j, *gain);
+                    }
+                }
+                Element::Ccvs {
+                    name,
+                    out_p,
+                    out_n,
+                    ctrl,
+                    r,
+                } => {
+                    // Branch row: v(out_p) − v(out_n) − r·i(ctrl) = 0.
+                    let bi = n_nodes + branch;
+                    branch += 1;
+                    let cb = resolve_ctrl("ccvs", name, ctrl)?;
+                    if let Some(i) = ui(*out_p) {
+                        g.add(i, bi, 1.0);
+                        g.add(bi, i, 1.0);
+                    }
+                    if let Some(j) = ui(*out_n) {
+                        g.add(j, bi, -1.0);
+                        g.add(bi, j, -1.0);
+                    }
+                    g.add(bi, cb, -r);
+                }
+                Element::Cccs {
+                    name,
+                    out_p,
+                    out_n,
+                    ctrl,
+                    gain,
+                } => {
+                    // i(out_p→out_n) = gain·i(ctrl): couples the output KCL
+                    // rows to the controlling source's branch column — no
+                    // unknown of its own.
+                    let cb = resolve_ctrl("cccs", name, ctrl)?;
+                    if let Some(i) = ui(*out_p) {
+                        g.add(i, cb, *gain);
+                    }
+                    if let Some(j) = ui(*out_n) {
+                        g.add(j, cb, -gain);
+                    }
+                }
                 Element::ISource { .. } => {}
                 Element::LinearVccs {
                     out_p,
@@ -136,15 +230,18 @@ impl MnaSystem {
                         }
                     }
                 }
-                Element::TableVccs { .. } | Element::Mosfet { .. } => {}
+                Element::TableVccs { .. } | Element::Diode { .. } | Element::Mosfet { .. } => {}
             }
         }
+        debug_assert_eq!(branch, branches.len());
         Ok(Self {
             n_nodes,
             dim,
             g,
             c,
+            branches,
             vsources,
+            vsource_branch,
             isources,
             nonlinear,
         })
@@ -155,9 +252,14 @@ impl MnaSystem {
         self.n_nodes
     }
 
-    /// Total unknown count (nodes + voltage-source branches).
+    /// Total unknown count (nodes + branch-current unknowns).
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// All branch-current elements (V/E/H) in branch order.
+    pub fn branches(&self) -> &[ElementId] {
+        &self.branches
     }
 
     /// Linear conductance matrix (with voltage-source incidence rows).
@@ -170,9 +272,22 @@ impl MnaSystem {
         &self.c
     }
 
-    /// Voltage-source element ids in branch order.
+    /// Independent voltage-source element ids in element order.
     pub fn vsources(&self) -> &[ElementId] {
         &self.vsources
+    }
+
+    /// Unknown index of the branch current of the `k`-th *voltage source*
+    /// (index into [`MnaSystem::vsources`]). Not contiguous with `n_nodes`
+    /// once E/H elements interleave their own branches.
+    pub fn vsource_branch(&self, k: usize) -> usize {
+        self.vsource_branch[k]
+    }
+
+    /// Unknown indices of every voltage source's branch current, parallel
+    /// to [`MnaSystem::vsources`].
+    pub fn vsource_branches(&self) -> &[usize] {
+        &self.vsource_branch
     }
 
     /// Whether Newton iteration is required.
@@ -189,7 +304,8 @@ impl MnaSystem {
         }
     }
 
-    /// Unknown index of the branch current of the `k`-th voltage source.
+    /// Unknown index of the current of the `k`-th *branch element* (index
+    /// into [`MnaSystem::branches`]).
     pub fn branch_unknown(&self, k: usize) -> usize {
         self.n_nodes + k
     }
@@ -222,7 +338,7 @@ impl MnaSystem {
         out.fill(0.0);
         for (k, id) in self.vsources.iter().enumerate() {
             if let Element::VSource { wave, .. } = circuit.element(*id) {
-                out[self.n_nodes + k] = scale * wave.eval(t);
+                out[self.vsource_branch[k]] = scale * wave.eval(t);
             }
         }
         for id in &self.isources {
@@ -330,7 +446,32 @@ impl MnaSystem {
                         }
                     }
                 }
-                _ => unreachable!("nonlinear list holds only mosfets and table vccs"),
+                Element::Diode { p, n, model, .. } => {
+                    let vd = self.voltage(x, *p) - self.voltage(x, *n);
+                    let e = model.eval(vd);
+                    // Current e.id flows anode → cathode through the diode.
+                    if let Some(i) = self.node_unknown(*p) {
+                        residual[i] += e.id;
+                    }
+                    if let Some(i) = self.node_unknown(*n) {
+                        residual[i] -= e.id;
+                    }
+                    if let Some(j) = jac.as_deref_mut() {
+                        if let Some(i) = self.node_unknown(*p) {
+                            j.add(i, i, e.gd);
+                            if let Some(jn) = self.node_unknown(*n) {
+                                j.add(i, jn, -e.gd);
+                            }
+                        }
+                        if let Some(i) = self.node_unknown(*n) {
+                            j.add(i, i, e.gd);
+                            if let Some(jp) = self.node_unknown(*p) {
+                                j.add(i, jp, -e.gd);
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("nonlinear list holds only mosfets, diodes, and table vccs"),
             }
         }
     }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::devices::{MosfetModel, SourceWaveform, Table2d};
+use crate::devices::{DiodeModel, MosfetModel, SourceWaveform, Table2d};
 use crate::error::{Error, Result};
 
 /// Handle to a circuit node. `NodeId::GROUND` is the reference node.
@@ -119,6 +119,65 @@ pub enum Element {
         /// `I_DC = f(V_ctrl, V_out)` load-curve table.
         table: Table2d,
     },
+    /// Linear voltage-controlled voltage source (SPICE `E`):
+    /// `V(out_p) − V(out_n) = gain · (V(ctrl_p) − V(ctrl_n))`. Adds one
+    /// branch-current unknown.
+    Vcvs {
+        /// Instance name.
+        name: String,
+        /// Positive output terminal.
+        out_p: NodeId,
+        /// Negative output terminal.
+        out_n: NodeId,
+        /// Positive controlling node.
+        ctrl_p: NodeId,
+        /// Negative controlling node.
+        ctrl_n: NodeId,
+        /// Voltage gain (dimensionless).
+        gain: f64,
+    },
+    /// Linear current-controlled current source (SPICE `F`):
+    /// `i(out_p→out_n) = gain · i(ctrl)` where `ctrl` names an independent
+    /// voltage source whose branch current is the controlling quantity.
+    Cccs {
+        /// Instance name.
+        name: String,
+        /// Current exits this node.
+        out_p: NodeId,
+        /// Current enters this node.
+        out_n: NodeId,
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Current gain (dimensionless).
+        gain: f64,
+    },
+    /// Linear current-controlled voltage source (SPICE `H`):
+    /// `V(out_p) − V(out_n) = r · i(ctrl)`. Adds one branch-current
+    /// unknown; `ctrl` names an independent voltage source.
+    Ccvs {
+        /// Instance name.
+        name: String,
+        /// Positive output terminal.
+        out_p: NodeId,
+        /// Negative output terminal.
+        out_n: NodeId,
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Transresistance (ohms).
+        r: f64,
+    },
+    /// Junction diode (anode → cathode), Shockley model with a linearized
+    /// overflow-safe high-bias extension.
+    Diode {
+        /// Instance name.
+        name: String,
+        /// Anode terminal.
+        p: NodeId,
+        /// Cathode terminal.
+        n: NodeId,
+        /// Model card.
+        model: DiodeModel,
+    },
     /// MOSFET with lumped constant capacitances (see
     /// [`MosfetModel::capacitances`]).
     Mosfet {
@@ -151,13 +210,29 @@ impl Element {
             | Element::ISource { name, .. }
             | Element::LinearVccs { name, .. }
             | Element::TableVccs { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Cccs { name, .. }
+            | Element::Ccvs { name, .. }
+            | Element::Diode { name, .. }
             | Element::Mosfet { name, .. } => name,
         }
     }
 
     /// Whether this element contributes non-linear residuals (needs Newton).
     pub fn is_nonlinear(&self) -> bool {
-        matches!(self, Element::TableVccs { .. } | Element::Mosfet { .. })
+        matches!(
+            self,
+            Element::TableVccs { .. } | Element::Mosfet { .. } | Element::Diode { .. }
+        )
+    }
+
+    /// Whether this element carries its own branch-current unknown in the
+    /// MNA system (voltage-defined elements).
+    pub fn has_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VSource { .. } | Element::Vcvs { .. } | Element::Ccvs { .. }
+        )
     }
 }
 
@@ -391,6 +466,139 @@ impl Circuit {
         })
     }
 
+    /// Add a linear VCVS (SPICE `E` element).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite gain.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        out_p: NodeId,
+        out_n: NodeId,
+        ctrl_p: NodeId,
+        ctrl_n: NodeId,
+        gain: f64,
+    ) -> Result<ElementId> {
+        if !gain.is_finite() {
+            return Err(Error::InvalidCircuit(format!(
+                "vcvs {name}: gain must be finite, got {gain}"
+            )));
+        }
+        Ok(self.push(Element::Vcvs {
+            name: name.into(),
+            out_p,
+            out_n,
+            ctrl_p,
+            ctrl_n,
+            gain,
+        }))
+    }
+
+    /// Add a linear CCCS (SPICE `F` element). `ctrl` names the independent
+    /// voltage source whose branch current controls the output; it is
+    /// resolved when the MNA system is assembled, so forward references are
+    /// fine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite gain.
+    pub fn add_cccs(
+        &mut self,
+        name: &str,
+        out_p: NodeId,
+        out_n: NodeId,
+        ctrl: &str,
+        gain: f64,
+    ) -> Result<ElementId> {
+        if !gain.is_finite() {
+            return Err(Error::InvalidCircuit(format!(
+                "cccs {name}: gain must be finite, got {gain}"
+            )));
+        }
+        Ok(self.push(Element::Cccs {
+            name: name.into(),
+            out_p,
+            out_n,
+            ctrl: ctrl.into(),
+            gain,
+        }))
+    }
+
+    /// Add a linear CCVS (SPICE `H` element). `ctrl` as in
+    /// [`Circuit::add_cccs`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite transresistance.
+    pub fn add_ccvs(
+        &mut self,
+        name: &str,
+        out_p: NodeId,
+        out_n: NodeId,
+        ctrl: &str,
+        r: f64,
+    ) -> Result<ElementId> {
+        if !r.is_finite() {
+            return Err(Error::InvalidCircuit(format!(
+                "ccvs {name}: transresistance must be finite, got {r}"
+            )));
+        }
+        Ok(self.push(Element::Ccvs {
+            name: name.into(),
+            out_p,
+            out_n,
+            ctrl: ctrl.into(),
+            r,
+        }))
+    }
+
+    /// Add a junction diode *and* its constant junction capacitance.
+    ///
+    /// As with [`Circuit::add_mosfet`]'s device caps, the zero-bias junction
+    /// capacitance is stamped as an explicit capacitor `<name>.cj` across
+    /// the junction (always added, even at 0 F, so topology is independent
+    /// of the model values).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive saturation current or emission coefficient,
+    /// or a negative junction capacitance.
+    pub fn add_diode(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        model: DiodeModel,
+    ) -> Result<ElementId> {
+        if !(model.is.is_finite() && model.is > 0.0) {
+            return Err(Error::InvalidCircuit(format!(
+                "diode {name}: saturation current must be positive, got {}",
+                model.is
+            )));
+        }
+        if !(model.n.is_finite() && model.n > 0.0) {
+            return Err(Error::InvalidCircuit(format!(
+                "diode {name}: emission coefficient must be positive, got {}",
+                model.n
+            )));
+        }
+        if !(model.cj0.is_finite() && model.cj0 >= 0.0) {
+            return Err(Error::InvalidCircuit(format!(
+                "diode {name}: junction capacitance must be non-negative, got {}",
+                model.cj0
+            )));
+        }
+        let id = self.push(Element::Diode {
+            name: name.into(),
+            p,
+            n,
+            model,
+        });
+        self.add_capacitor(&format!("{name}.cj"), p, n, model.cj0)?;
+        Ok(id)
+    }
+
     /// Add a MOSFET *and* its lumped device capacitances.
     ///
     /// The five constant caps from [`MosfetModel::capacitances`] are stamped
@@ -500,6 +708,26 @@ impl Circuit {
                     mark(*out_n, &mut touched);
                     mark(*ctrl, &mut touched);
                 }
+                Element::Vcvs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    ..
+                } => {
+                    mark(*out_p, &mut touched);
+                    mark(*out_n, &mut touched);
+                    mark(*ctrl_p, &mut touched);
+                    mark(*ctrl_n, &mut touched);
+                }
+                Element::Cccs { out_p, out_n, .. } | Element::Ccvs { out_p, out_n, .. } => {
+                    mark(*out_p, &mut touched);
+                    mark(*out_n, &mut touched);
+                }
+                Element::Diode { p, n, .. } => {
+                    mark(*p, &mut touched);
+                    mark(*n, &mut touched);
+                }
                 Element::Mosfet { d, g, s, b, .. } => {
                     mark(*d, &mut touched);
                     mark(*g, &mut touched);
@@ -525,6 +753,15 @@ impl Circuit {
             self.node_index.insert(n.to_ascii_lowercase(), i);
         }
         self.node_index.insert("gnd".into(), 0);
+    }
+}
+
+/// Circuits compare by observable content: node names (in interning order)
+/// and elements. The derived name→index map is a cache and is excluded —
+/// this equality is what the parse/write round-trip property tests use.
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_names == other.node_names && self.elements == other.elements
     }
 }
 

@@ -590,7 +590,7 @@ impl BatchedSweep {
         count(Metric::SweepCalls, 1);
         count(Metric::SweepLanes, self.k as u64);
         self.set_alpha(0.0);
-        let (k, dim, n_nodes) = (self.k, self.dim, self.n_nodes);
+        let (k, dim) = (self.k, self.dim);
         self.fill_b_cur(circuits, 0.0);
         let warm_ok = warm.is_some_and(|w| w.len() == k && w.iter().all(|v| v.len() == dim));
         if warm_ok {
@@ -620,7 +620,7 @@ impl BatchedSweep {
                 gather_lane(&self.x, k, lane, &mut self.lane_v);
                 out.push(DcSolution::from_parts(
                     self.lane_v.clone(),
-                    n_nodes,
+                    self.mna.vsource_branches().to_vec(),
                     name,
                     1,
                 ));
@@ -739,7 +739,7 @@ impl BatchedSweep {
             gather_lane(&self.x, k, lane, &mut self.lane_v);
             out.push(DcSolution::from_parts(
                 self.lane_v.clone(),
-                n_nodes,
+                self.mna.vsource_branches().to_vec(),
                 name,
                 iters[lane],
             ));
@@ -861,6 +861,23 @@ impl BatchedSweep {
         circuits: &[Circuit],
         params: &TranParams,
     ) -> Result<Vec<TranResult>> {
+        self.transient_with_ics(circuits, params, &[])
+    }
+
+    /// [`Self::transient`] with explicit node initial conditions applied to
+    /// every lane after DC initialization (or the zero state), mirroring
+    /// [`crate::tran::transient_with_ics`]. Ground and unknown nodes are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::transient`].
+    pub fn transient_with_ics(
+        &mut self,
+        circuits: &[Circuit],
+        params: &TranParams,
+        ics: &[(NodeId, f64)],
+    ) -> Result<Vec<TranResult>> {
         if params.dt.is_nan()
             || params.dt <= 0.0
             || params.t_stop.is_nan()
@@ -887,6 +904,13 @@ impl BatchedSweep {
         } else {
             self.x.fill(0.0);
         }
+        for &(node, v) in ics {
+            if let Some(row) = self.mna.node_unknown(node) {
+                for lane in 0..k {
+                    self.x[row * k + lane] = v;
+                }
+            }
+        }
         let alpha = match params.method {
             Integrator::BackwardEuler => 1.0 / params.dt,
             Integrator::Trapezoidal => 2.0 / params.dt,
@@ -905,6 +929,7 @@ impl BatchedSweep {
             })
             .collect();
         let n_vsrc = self.mna.vsources().len();
+        let vb: Vec<usize> = self.mna.vsource_branches().to_vec();
         let mut branch: Vec<Vec<Vec<f64>>> = (0..k)
             .map(|_| {
                 (0..n_vsrc)
@@ -925,7 +950,7 @@ impl BatchedSweep {
             }
             for (lane, lane_br) in branch.iter_mut().enumerate() {
                 for (s, br) in lane_br.iter_mut().enumerate() {
-                    br.push(x[(n_nodes + s) * k + lane]);
+                    br.push(x[vb[s] * k + lane]);
                 }
             }
         };
@@ -1085,12 +1110,13 @@ impl BatchedSweep {
             })
             .collect();
         let n_vsrc = self.mna.vsources().len();
+        let vb: Vec<usize> = self.mna.vsource_branches().to_vec();
         let mut branch: Vec<Vec<Vec<f64>>> = (0..k)
             .map(|lane| {
                 (0..n_vsrc)
                     .map(|s| {
                         let mut v = Vec::with_capacity(est_points);
-                        v.push(self.x[(n_nodes + s) * k + lane]);
+                        v.push(self.x[vb[s] * k + lane]);
                         v
                     })
                     .collect()
@@ -1149,7 +1175,7 @@ impl BatchedSweep {
             }
             for (lane, lane_br) in branch.iter_mut().enumerate() {
                 for (s, br) in lane_br.iter_mut().enumerate() {
-                    br.push(x0[(n_nodes + s) * k + lane]);
+                    br.push(x0[vb[s] * k + lane]);
                 }
             }
             if err < 0.25 * opts.ltol {

@@ -206,6 +206,18 @@ impl TranStats {
     }
 }
 
+/// FNV-1a of a string, used to fold element-name references (the F/H
+/// controlling-source names) into the circuit fingerprints.
+fn fnv_str(s: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in s.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Order-sensitive FNV-1a hash of every stamped element value *and* every
 /// terminal wiring (source waveforms excluded — those are the one thing a
 /// workspace re-run may legitimately change).
@@ -261,6 +273,49 @@ pub(crate) fn circuit_value_hash(circuit: &Circuit) -> u64 {
                 mix(7 ^ w.to_bits() ^ l.to_bits().rotate_left(1));
                 mix(model.vt0.to_bits() ^ model.kp.to_bits().rotate_left(1));
                 mix(n(d) | n(g) << 16 | n(s) << 32 | n(b) << 48);
+            }
+            Element::Vcvs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                gain,
+                ..
+            } => {
+                mix(8 ^ gain.to_bits());
+                mix(n(out_p) | n(out_n) << 16 | n(ctrl_p) << 32 | n(ctrl_n) << 48);
+            }
+            Element::Cccs {
+                out_p,
+                out_n,
+                ctrl,
+                gain,
+                ..
+            } => {
+                mix(9 ^ gain.to_bits());
+                mix(n(out_p) | n(out_n) << 32);
+                mix(fnv_str(ctrl));
+            }
+            Element::Ccvs {
+                out_p,
+                out_n,
+                ctrl,
+                r,
+                ..
+            } => {
+                mix(10 ^ r.to_bits());
+                mix(n(out_p) | n(out_n) << 32);
+                mix(fnv_str(ctrl));
+            }
+            Element::Diode {
+                p: dp,
+                n: dn,
+                model,
+                ..
+            } => {
+                mix(11 ^ model.is.to_bits());
+                mix(model.n.to_bits() ^ model.cj0.to_bits().rotate_left(1));
+                mix(n(dp) | n(dn) << 32);
             }
         }
     }
@@ -318,6 +373,36 @@ pub(crate) fn circuit_topology_hash(circuit: &Circuit) -> u64 {
             Element::Mosfet { d, g, s, b, .. } => {
                 mix(7);
                 mix(n(d) | n(g) << 16 | n(s) << 32 | n(b) << 48);
+            }
+            Element::Vcvs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } => {
+                mix(8);
+                mix(n(out_p) | n(out_n) << 16 | n(ctrl_p) << 32 | n(ctrl_n) << 48);
+            }
+            // The controlling-source *name* is part of the topology: it
+            // decides which branch column the F/H stamp lands in.
+            Element::Cccs {
+                out_p, out_n, ctrl, ..
+            } => {
+                mix(9);
+                mix(n(out_p) | n(out_n) << 32);
+                mix(fnv_str(ctrl));
+            }
+            Element::Ccvs {
+                out_p, out_n, ctrl, ..
+            } => {
+                mix(10);
+                mix(n(out_p) | n(out_n) << 32);
+                mix(fnv_str(ctrl));
+            }
+            Element::Diode { p, n: dn, .. } => {
+                mix(11);
+                mix(n(p) | n(dn) << 32);
             }
         }
     }
@@ -415,6 +500,16 @@ impl TranWorkspace {
     }
 }
 
+/// Overwrite initial node voltages with `.IC` values. Ground entries are
+/// ignored (the reference is fixed at 0 V by construction).
+fn apply_ics(mna: &MnaSystem, x: &mut [f64], ics: &[(NodeId, f64)]) {
+    for (node, v) in ics {
+        if let Some(i) = mna.node_unknown(*node) {
+            x[i] = *v;
+        }
+    }
+}
+
 /// Run a transient analysis.
 ///
 /// # Errors
@@ -436,6 +531,26 @@ pub fn transient_with(
     circuit: &Circuit,
     params: &TranParams,
     ws: &mut TranWorkspace,
+) -> Result<TranResult> {
+    transient_with_ics(circuit, params, ws, &[])
+}
+
+/// [`transient_with`] plus `.IC` initial-condition overrides: after the DC
+/// solve (or the all-zeros `UIC` start when `dc_init` is false), each
+/// listed node's starting voltage is forced to the given value before
+/// stepping begins. This is the SPICE `.IC` approximation — the override
+/// biases the initial state rather than adding a constraint row, so the
+/// first steps relax any resulting KCL imbalance. Entries naming ground
+/// are ignored.
+///
+/// # Errors
+///
+/// As [`transient_with`].
+pub fn transient_with_ics(
+    circuit: &Circuit,
+    params: &TranParams,
+    ws: &mut TranWorkspace,
+    ics: &[(NodeId, f64)],
 ) -> Result<TranResult> {
     // `is_nan()` checks keep the rejection of NaN parameters explicit.
     if params.dt.is_nan()
@@ -468,6 +583,7 @@ pub fn transient_with(
     } else {
         vec![0.0; dim]
     };
+    apply_ics(&ws.mna, &mut x, ics);
     let mut x_next = vec![0.0; dim];
 
     let alpha = match params.method {
@@ -493,6 +609,7 @@ pub fn transient_with(
     let mut branch_currents: Vec<Vec<f64>> = (0..n_vsrc)
         .map(|_| Vec::with_capacity(n_steps + 1))
         .collect();
+    let vb: Vec<usize> = ws.mna.vsource_branches().to_vec();
     let record = |x: &[f64],
                   t: f64,
                   times: &mut Vec<f64>,
@@ -503,7 +620,7 @@ pub fn transient_with(
             tr.push(x[n]);
         }
         for (s, br) in branch.iter_mut().enumerate() {
-            br.push(x[n_nodes + s]);
+            br.push(x[vb[s]]);
         }
     };
     record(&x, 0.0, &mut times, &mut traces, &mut branch_currents);
@@ -772,6 +889,21 @@ pub fn transient_adaptive_with(
     opts: &AdaptiveOptions,
     ws: &mut TranWorkspace,
 ) -> Result<TranResult> {
+    transient_adaptive_with_ics(circuit, opts, ws, &[])
+}
+
+/// [`transient_adaptive_with`] plus `.IC` initial-condition overrides (see
+/// [`transient_with_ics`] for the semantics).
+///
+/// # Errors
+///
+/// As [`transient_adaptive_with`].
+pub fn transient_adaptive_with_ics(
+    circuit: &Circuit,
+    opts: &AdaptiveOptions,
+    ws: &mut TranWorkspace,
+    ics: &[(NodeId, f64)],
+) -> Result<TranResult> {
     // `is_nan()` checks keep the rejection of NaN options explicit.
     if opts.dt_init.is_nan()
         || opts.dt_init <= 0.0
@@ -804,6 +936,7 @@ pub fn transient_adaptive_with(
     } else {
         vec![0.0; dim]
     };
+    apply_ics(&ws.mna, &mut x, ics);
     // Step-doubling candidates live outside the workspace so `x` can feed
     // one be_step while another fills its output.
     let mut x_full = vec![0.0; dim];
@@ -823,8 +956,8 @@ pub fn transient_adaptive_with(
     let mut times = with_first(0.0);
     let mut traces: Vec<Vec<f64>> = (0..n_nodes).map(|n| with_first(x[n])).collect();
     let n_vsrc = ws.mna.vsources().len();
-    let mut branch_currents: Vec<Vec<f64>> =
-        (0..n_vsrc).map(|s| with_first(x[n_nodes + s])).collect();
+    let vb: Vec<usize> = ws.mna.vsource_branches().to_vec();
+    let mut branch_currents: Vec<Vec<f64>> = (0..n_vsrc).map(|s| with_first(x[vb[s]])).collect();
     let mut t = 0.0;
     let mut h = opts.dt_init.clamp(opts.dt_min, opts.dt_max);
     let mut total_newton = 0usize;
@@ -878,7 +1011,7 @@ pub fn transient_adaptive_with(
             tr.push(x[n]);
         }
         for (s, br) in branch_currents.iter_mut().enumerate() {
-            br.push(x[n_nodes + s]);
+            br.push(x[vb[s]]);
         }
         if err < 0.25 * opts.ltol {
             h = (2.0 * h).min(opts.dt_max);

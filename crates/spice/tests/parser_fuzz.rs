@@ -1,0 +1,257 @@
+//! Panic-safety fuzz harness for the deck front-end.
+//!
+//! [`parse_deck`] must never panic: every malformed input maps to
+//! `Error::Parse`. This harness drives it with structured mutations of the
+//! checked-in corpus decks (line splices, truncations, token injections,
+//! character noise) plus raw random bytes. Run in CI with a fixed budget:
+//!
+//! ```text
+//! cargo test -p sna-spice parser_fuzz -- --ignored
+//! ```
+//!
+//! Override the budget with `PARSER_FUZZ_ITERS=<n>`. The PRNG seed is fixed,
+//! so a CI failure reproduces locally with the same iteration count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use sna_spice::parser::parse_deck;
+
+/// xorshift64* — deterministic, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Tokens that exercise every parser code path when spliced in at random.
+const DICTIONARY: &[&str] = &[
+    ".subckt",
+    ".ends",
+    ".end",
+    ".model",
+    ".include",
+    ".tran",
+    ".dc",
+    ".ic",
+    ".sna",
+    "+",
+    "*",
+    "X1",
+    "seg",
+    "NMOS",
+    "PMOS",
+    "D",
+    "PULSE(",
+    "PWL(",
+    "DC",
+    "(",
+    ")",
+    "=",
+    "{r}",
+    "{",
+    "}",
+    "victim=",
+    "aggressors=",
+    "threshold=",
+    "name=",
+    "w=",
+    "l=",
+    "vto=",
+    "uic",
+    "v(",
+    "0",
+    "1k",
+    "1e999",
+    "-1e-999",
+    "nan",
+    "inf",
+    "9999999999999999999",
+    "1meg",
+    "..",
+    ",",
+    ",,",
+    ";",
+    "$",
+];
+
+fn seed_corpus() -> Vec<String> {
+    let decks = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/decks");
+    let mut corpus: Vec<String> = std::fs::read_dir(&decks)
+        .expect("corpus dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "cir").then(|| std::fs::read_to_string(&p).ok())?
+        })
+        .collect();
+    corpus.push(
+        "rc\nV1 a 0 PWL(0 0 1n 1.2)\nR1 a b 1k\nC1 b 0 1p\n.tran 1p 2n uic\n.end\n".to_string(),
+    );
+    corpus.push(".subckt s a\nR1 a 0 1k\n.ends\nXs n1 s\n.ic v(n1)=1\n".to_string());
+    assert!(corpus.len() >= 5, "corpus decks must be present");
+    corpus
+}
+
+fn mutate(rng: &mut Rng, corpus: &[String]) -> String {
+    let base = &corpus[rng.below(corpus.len())];
+    let mut lines: Vec<String> = base.lines().map(str::to_string).collect();
+    for _ in 0..=rng.below(6) {
+        match rng.below(8) {
+            // Splice a line from another corpus deck.
+            0 => {
+                let other = &corpus[rng.below(corpus.len())];
+                let donor: Vec<&str> = other.lines().collect();
+                if !donor.is_empty() && !lines.is_empty() {
+                    let at = rng.below(lines.len());
+                    lines.insert(at, donor[rng.below(donor.len())].to_string());
+                }
+            }
+            // Delete a line (unbalances .subckt/.ends, drops .model, ...).
+            1 => {
+                if !lines.is_empty() {
+                    lines.remove(rng.below(lines.len()));
+                }
+            }
+            // Duplicate a line (duplicate element / subckt names).
+            2 => {
+                if !lines.is_empty() {
+                    let l = lines[rng.below(lines.len())].clone();
+                    lines.push(l);
+                }
+            }
+            // Truncate a line at a random char boundary.
+            3 => {
+                if !lines.is_empty() {
+                    let at = rng.below(lines.len());
+                    let n_chars = lines[at].chars().count();
+                    let keep = rng.below(n_chars + 1);
+                    lines[at] = lines[at].chars().take(keep).collect();
+                }
+            }
+            // Inject dictionary tokens into a line.
+            4 => {
+                if !lines.is_empty() {
+                    let at = rng.below(lines.len());
+                    let tok = DICTIONARY[rng.below(DICTIONARY.len())];
+                    let mut toks: Vec<&str> = lines[at].split_whitespace().collect();
+                    toks.insert(rng.below(toks.len() + 1), tok);
+                    lines[at] = toks.join(" ");
+                }
+            }
+            // Replace a whole line with dictionary soup.
+            5 => {
+                let n = 1 + rng.below(8);
+                let soup: Vec<&str> = (0..n)
+                    .map(|_| DICTIONARY[rng.below(DICTIONARY.len())])
+                    .collect();
+                let line = soup.join(" ");
+                if lines.is_empty() {
+                    lines.push(line);
+                } else {
+                    let at = rng.below(lines.len());
+                    lines[at] = line;
+                }
+            }
+            // Flip a character to printable-ASCII noise.
+            6 => {
+                if !lines.is_empty() {
+                    let at = rng.below(lines.len());
+                    let mut chars: Vec<char> = lines[at].chars().collect();
+                    if !chars.is_empty() {
+                        let i = rng.below(chars.len());
+                        chars[i] = (b' ' + (rng.next() % 95) as u8) as char;
+                        lines[at] = chars.into_iter().collect();
+                    }
+                }
+            }
+            // Shuffle: swap two lines (e.g. .ends before .subckt).
+            _ => {
+                if lines.len() >= 2 {
+                    let a = rng.below(lines.len());
+                    let b = rng.below(lines.len());
+                    lines.swap(a, b);
+                }
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+fn assert_no_panic(input: &str, tag: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_deck(input);
+    }));
+    assert!(
+        result.is_ok(),
+        "parse_deck panicked on {tag} input:\n---\n{input}\n---"
+    );
+}
+
+#[test]
+#[ignore = "fuzz budget is CI-sized; run explicitly with -- --ignored"]
+fn parser_fuzz_never_panics() {
+    let iters: usize = std::env::var("PARSER_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000);
+    let corpus = seed_corpus();
+    let mut rng = Rng(0x5EED_2005_DA7E_0001);
+    for i in 0..iters {
+        let input = mutate(&mut rng, &corpus);
+        assert_no_panic(&input, &format!("mutated (iter {i})"));
+    }
+}
+
+#[test]
+#[ignore = "fuzz budget is CI-sized; run explicitly with -- --ignored"]
+fn parser_fuzz_random_bytes_never_panic() {
+    let iters: usize = std::env::var("PARSER_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000);
+    let mut rng = Rng(0xDEAD_BEEF_2005_0002);
+    for i in 0..iters {
+        let len = rng.below(400);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        assert_no_panic(&input, &format!("random-bytes (iter {i})"));
+    }
+}
+
+/// Quick deterministic smoke (not ignored): a handful of known nasty inputs.
+#[test]
+fn parser_handles_known_nasty_inputs() {
+    for input in [
+        "",
+        "\n",
+        "t\n+",
+        "+ only continuation",
+        "t\n.subckt",
+        "t\n.subckt s a a\n.ends",
+        "t\n.ends",
+        "t\nX1",
+        "t\nR1 a b",
+        "t\nR1 a b 1e999",
+        "t\nV1 a 0 PWL(0 0 0 1)",
+        "t\nM1 a b c d",
+        "t\n.model m NMOS (vto=)",
+        "t\n.ic v(=1",
+        "t\n.sna =",
+        "t\n.tran",
+        "t\n.include x.cir",
+        "t\nR1 a 0 {undefined}",
+        "t\n( ) = ( ) =",
+    ] {
+        assert_no_panic(input, "nasty");
+    }
+}

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use sna_spice::dc::{dc_operating_point, NewtonOptions};
-use sna_spice::devices::SourceWaveform;
+use sna_spice::devices::{DiodeModel, SourceWaveform};
 use sna_spice::netlist::Circuit;
 use sna_spice::parser::{parse_deck, write_deck};
 
@@ -54,6 +54,80 @@ proptest! {
                 "node {} differs: {} vs {}", name, s1.voltage(a), s2.voltage(b)
             );
         }
+    }
+
+    /// Exact structural round trip including the controlled-source and
+    /// diode element kinds: `parse_deck(write_deck(c)).circuit == c`.
+    #[test]
+    fn prop_write_parse_is_exact_with_controlled_sources(
+        specs in proptest::collection::vec(
+            (0usize..7, 0usize..97, 0usize..89, 0.001f64..1e4),
+            1..14,
+        ),
+        n_nodes in 2usize..6,
+        v in -3.0f64..3.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let nodes: Vec<_> = (0..n_nodes)
+            .map(|i| ckt.node(&format!("n{i}")))
+            .collect();
+        // A driving source doubles as the F/H controlling branch.
+        ckt.add_vsource("V0", nodes[0], Circuit::gnd(), SourceWaveform::Dc(v));
+        // Anchor every node in index order so the reparsed circuit interns
+        // them identically (nodes are interned in first-use order).
+        for (j, &n) in nodes.iter().enumerate().skip(1) {
+            ckt.add_resistor(&format!("Rb{j}"), n, Circuit::gnd(), 1e4)
+                .unwrap();
+        }
+        for (i, &(kind, a, b, val)) in specs.iter().enumerate() {
+            let p = nodes[a % n_nodes];
+            let q = nodes[(a % n_nodes + 1 + b % (n_nodes - 1)) % n_nodes];
+            match kind {
+                0 => {
+                    ckt.add_resistor(&format!("R{i}"), p, q, val).unwrap();
+                }
+                1 => {
+                    ckt.add_capacitor(&format!("C{i}"), p, q, val * 1e-15)
+                        .unwrap();
+                }
+                2 => {
+                    ckt.add_vcvs(&format!("E{i}"), p, Circuit::gnd(), q, Circuit::gnd(), val)
+                        .unwrap();
+                }
+                3 => {
+                    ckt.add_cccs(&format!("F{i}"), p, q, "V0", val).unwrap();
+                }
+                4 => {
+                    ckt.add_ccvs(&format!("H{i}"), p, q, "V0", val).unwrap();
+                }
+                5 => {
+                    let model = DiodeModel {
+                        is: val * 1e-16,
+                        n: 1.0 + val * 1e-4,
+                        cj0: val * 1e-16,
+                    };
+                    ckt.add_diode(&format!("D{i}"), p, q, model).unwrap();
+                }
+                _ => {
+                    ckt.add_vsource(
+                        &format!("Vs{i}"),
+                        p,
+                        Circuit::gnd(),
+                        SourceWaveform::Pulse {
+                            v0: 0.0,
+                            v1: val,
+                            t_delay: 1e-10,
+                            t_rise: 2e-11,
+                            t_fall: 2e-11,
+                            t_width: 1e-9,
+                        },
+                    );
+                }
+            }
+        }
+        let deck = write_deck(&ckt, "ctrl roundtrip");
+        let parsed = parse_deck(&deck).expect("emitted deck must parse");
+        prop_assert_eq!(&parsed.circuit, &ckt, "deck:\n{}", deck);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Golden snapshot tests for the deck front-end.
+//!
+//! Every `tests/decks/*.cir` has a checked-in `*.snap` next to it holding
+//! the [`sna_spice::parser::dump_parsed`] dump of its parse. A parser change
+//! that alters any dump fails here with a diff hint; when the change is
+//! intentional, regenerate the goldens with
+//!
+//! ```text
+//! SNAPSHOT_UPDATE=1 cargo test -p sna-spice --test parser_snapshots
+//! ```
+//!
+//! and commit the updated `.snap` files.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sna_spice::parser::{dump_parsed, parse_deck_file};
+
+fn decks_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/decks")
+}
+
+fn check_snapshot(deck: &str) {
+    let cir = decks_dir().join(format!("{deck}.cir"));
+    let snap = decks_dir().join(format!("{deck}.snap"));
+    let parsed = parse_deck_file(&cir).unwrap_or_else(|e| panic!("{deck}.cir must parse: {e}"));
+    let dump = dump_parsed(&parsed);
+    if std::env::var_os("SNAPSHOT_UPDATE").is_some() {
+        fs::write(&snap, &dump).expect("write snapshot");
+        return;
+    }
+    let want = fs::read_to_string(&snap).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; run with SNAPSHOT_UPDATE=1 to create it",
+            snap.display()
+        )
+    });
+    assert_eq!(
+        dump, want,
+        "parse dump of {deck}.cir drifted from its golden; if intentional, \
+         regenerate with SNAPSHOT_UPDATE=1 and commit the .snap"
+    );
+}
+
+#[test]
+fn snapshot_inverter() {
+    check_snapshot("inverter");
+}
+
+#[test]
+fn snapshot_coupled_bus() {
+    check_snapshot("coupled_bus");
+}
+
+#[test]
+fn snapshot_subckt_hierarchy() {
+    check_snapshot("subckt_hierarchy");
+}
+
+#[test]
+fn snapshot_controlled_filter() {
+    check_snapshot("controlled_filter");
+}
+
+/// The hierarchy corpus deck is the acceptance-criteria deck: two nested
+/// subcircuit levels, a controlled source, a `.model` card, and a `.ic`.
+#[test]
+fn hierarchy_deck_flattens_as_specified() {
+    let parsed = parse_deck_file(decks_dir().join("subckt_hierarchy.cir")).unwrap();
+    let c = &parsed.circuit;
+    // Two levels: Xa instantiates stage, which instantiates seg twice.
+    assert!(c.find_element("xa.x1.Rs").is_some(), "nested seg resistor");
+    assert!(
+        c.find_element("xv.x2.Rs").is_some(),
+        "victim-side nested seg"
+    );
+    assert!(c.find_element("xa.D1").is_some(), "diode in stage");
+    assert!(c.find_element("Ebuf").is_some(), "controlled source at top");
+    assert_eq!(parsed.ics, vec![("vic".to_string(), 0.05)]);
+    assert_eq!(parsed.sna_cards.len(), 1);
+    assert!(parsed.tran.is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Error-provenance regressions: reported lines must be original file:line,
+// surviving `+` continuation merging and `.include` expansion.
+// ---------------------------------------------------------------------------
+
+struct TempDeckDir(PathBuf);
+
+impl TempDeckDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("sna_parser_prov_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir tempdir");
+        TempDeckDir(dir)
+    }
+    fn write(&self, name: &str, content: &str) -> PathBuf {
+        let p = self.0.join(name);
+        fs::write(&p, content).expect("write temp deck");
+        p
+    }
+}
+
+impl Drop for TempDeckDir {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn error_line_survives_include_expansion() {
+    let dir = TempDeckDir::new("inc");
+    // The bad card sits at line 3 of the INCLUDED file, after two good lines.
+    dir.write("sub.cir", "R1 a 0 1k\nC1 a 0 1p\nR2 a 0 bogus\n");
+    let main = dir.write("main.cir", "title\nV1 a 0 DC 1\n.include sub.cir\n.end\n");
+    let err = parse_deck_file(&main).unwrap_err().to_string();
+    assert!(
+        err.contains("sub.cir"),
+        "error must name the included file: {err}"
+    );
+    assert!(
+        err.contains("line 3"),
+        "error must use the included file's line: {err}"
+    );
+}
+
+#[test]
+fn error_line_survives_continuation_inside_include() {
+    let dir = TempDeckDir::new("cont");
+    // The card starts at line 2 of the included file and continues over two
+    // physical lines; the bad token is on line 4, but provenance points at
+    // the card's first physical line.
+    dir.write("frag.cir", "* fragment\nR1 a\n+ 0\n+ nonsense\nC1 a 0 1p\n");
+    let main = dir.write("main.cir", "title\nV1 a 0 DC 1\n.include frag.cir\n");
+    let err = parse_deck_file(&main).unwrap_err().to_string();
+    assert!(
+        err.contains("frag.cir"),
+        "error must name the included file: {err}"
+    );
+    assert!(
+        err.contains("line 2"),
+        "error must point at the card start: {err}"
+    );
+}
+
+#[test]
+fn include_site_named_for_unreadable_file() {
+    let dir = TempDeckDir::new("missing");
+    let main = dir.write("main.cir", "title\n.include nope.cir\n");
+    let err = parse_deck_file(&main).unwrap_err().to_string();
+    assert!(
+        err.contains("main.cir"),
+        "error must name the including file: {err}"
+    );
+    assert!(
+        err.contains("line 2"),
+        "error must point at the .include card: {err}"
+    );
+    assert!(
+        err.contains("nope.cir"),
+        "error must name the missing file: {err}"
+    );
+}
+
+#[test]
+fn include_cycle_detected_with_provenance() {
+    let dir = TempDeckDir::new("cycle");
+    dir.write("a.cir", "title\n.include b.cir\n");
+    dir.write("b.cir", ".include a.cir\n");
+    let err = parse_deck_file(dir.0.join("a.cir"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("circular"), "cycle must be detected: {err}");
+}
