@@ -76,6 +76,11 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 const SEGMENTS: usize = 100;
 
+/// Discretization of the large case: 500 segments per wire puts the pair
+/// at 1003 MNA unknowns, the scale the ROADMAP's backend-comparison
+/// follow-up asks for.
+const LARGE_SEGMENTS: usize = 500;
+
 /// `sna-obs` counter deltas of one batched DC sweep — how much Newton and
 /// serial-fallback work the timings above actually cover.
 struct SweepCounters {
@@ -86,6 +91,7 @@ struct SweepCounters {
 }
 
 struct SweepCase {
+    segments: usize,
     k: usize,
     backend: BackendKind,
     unknowns: usize,
@@ -97,11 +103,19 @@ struct SweepCase {
     counters: SweepCounters,
 }
 
-/// Measure one (K, backend) point: cold serial per-corner cost, total
-/// batched sweep cost, and the batched-vs-serial deviation.
-fn run_case(k: usize, backend: BackendKind, reps: usize, t1_ms: Option<f64>) -> SweepCase {
+/// Measure one (K, backend) point at the given bus discretization: cold
+/// serial per-corner cost, total batched sweep cost, and the
+/// batched-vs-serial deviation. `segments = 100` gives the paper-scale
+/// ~200-unknown case; `segments = 500` the 1003-unknown stress case.
+fn run_case(
+    segments: usize,
+    k: usize,
+    backend: BackendKind,
+    reps: usize,
+    t1_ms: Option<f64>,
+) -> SweepCase {
     let newton = NewtonOptions::default();
-    let lanes = corner_lanes(SEGMENTS, k);
+    let lanes = corner_lanes(segments, k);
     // Cold cost: assemble + analyze + solve one corner from scratch, the
     // way a per-corner loop without the sweep plane would.
     let cold_solve_ms = 1e3
@@ -139,6 +153,7 @@ fn run_case(k: usize, backend: BackendKind, reps: usize, t1_ms: Option<f64>) -> 
         _ => (None, None),
     };
     SweepCase {
+        segments,
         k,
         backend,
         unknowns,
@@ -159,19 +174,21 @@ fn emit_json(cases: &[SweepCase]) {
     println!("{{");
     println!("  \"schema\": \"sna-bench-sweep-v1\",");
     println!(
-        "  \"circuit\": \"coupled-bus victim/aggressor pair, 500um, {SEGMENTS} segments, \
-         per-lane geometry corners 0.9+0.05*lane, DC operating points\","
+        "  \"circuit\": \"coupled-bus victim/aggressor pair, 500um, {SEGMENTS} segments \
+         (plus {LARGE_SEGMENTS}-segment 1003-unknown cases), per-lane geometry corners \
+         0.9+0.05*lane, DC operating points\","
     );
     println!("  \"cases\": [");
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
         println!(
-            "    {{\"k\": {}, \"backend\": \"{:?}\", \"unknowns\": {}, \
+            "    {{\"segments\": {}, \"k\": {}, \"backend\": \"{:?}\", \"unknowns\": {}, \
              \"cold_solve_ms\": {:.4}, \"batched_total_ms\": {:.4}, \
              \"marginal_per_corner_ms\": {}, \"marginal_vs_cold\": {}, \
              \"max_dev_vs_serial\": {:.3e}, \
              \"counters\": {{\"sweep_calls\": {}, \"lanes\": {}, \
              \"lane_newton_iterations\": {}, \"serial_fallbacks\": {}}}}}{}",
+            c.segments,
             c.k,
             c.backend,
             c.unknowns,
@@ -194,7 +211,7 @@ fn emit_json(cases: &[SweepCase]) {
 /// Smoke mode for CI: deterministic assertions only.
 fn self_test() {
     for backend in [BackendKind::Scalar, BackendKind::Batched] {
-        let c = run_case(4, backend, 1, None);
+        let c = run_case(SEGMENTS, 4, backend, 1, None);
         assert!(
             c.unknowns > 100,
             "bus fixture shrank to {} unknowns",
@@ -254,12 +271,20 @@ fn main() {
     if json {
         let mut cases = Vec::new();
         for backend in [BackendKind::Scalar, BackendKind::Batched] {
-            let t1 = run_case(1, backend, 9, None);
+            let t1 = run_case(SEGMENTS, 1, backend, 9, None);
             let t1_ms = t1.batched_total_ms;
             cases.push(t1);
             for k in [4usize, 16] {
-                cases.push(run_case(k, backend, 7, Some(t1_ms)));
+                cases.push(run_case(SEGMENTS, k, backend, 7, Some(t1_ms)));
             }
+        }
+        // The 1003-unknown stress case: same topology at 500 segments per
+        // wire, K=4 geometry corners, both backends.
+        for backend in [BackendKind::Scalar, BackendKind::Batched] {
+            let t1 = run_case(LARGE_SEGMENTS, 1, backend, 3, None);
+            let t1_ms = t1.batched_total_ms;
+            cases.push(t1);
+            cases.push(run_case(LARGE_SEGMENTS, 4, backend, 3, Some(t1_ms)));
         }
         emit_json(&cases);
         return;

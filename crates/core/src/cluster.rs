@@ -25,7 +25,7 @@ use sna_cells::{Cell, DriverMode, Technology};
 use sna_interconnect::CoupledBus;
 use sna_obs::{phase_span, Phase};
 
-use crate::library::{ArtifactKind, NoiseModelLibrary};
+use crate::library::NoiseModelLibrary;
 use sna_mor::{
     port_admittance_moments, prima_reduce_with, PiModel, ReducedSystem, DEFAULT_Q, DEFAULT_S0,
 };
@@ -392,18 +392,24 @@ impl ClusterMacromodel {
                 r: pi.r,
                 c_far: pi.c_far,
             };
+            // The library caches the *unshifted* fit (keyed by the exact
+            // Π bits), so a persistent cache serves repeated runs of the
+            // same design; the switch-time shift is a cheap translation.
             let th = {
                 let _t = phase_span(Phase::Thevenin);
-                if let Some(lib) = library {
-                    lib.record_uncached(ArtifactKind::Thevenin);
+                match library {
+                    Some(lib) => {
+                        (*lib.thevenin(&agg.cell, agg.rising, agg.input_slew, &load, &char_opts)?)
+                            .clone()
+                    }
+                    None => characterize_thevenin_with(
+                        &agg.cell,
+                        agg.rising,
+                        agg.input_slew,
+                        &load,
+                        &char_opts,
+                    )?,
                 }
-                characterize_thevenin_with(
-                    &agg.cell,
-                    agg.rising,
-                    agg.input_slew,
-                    &load,
-                    &char_opts,
-                )?
             };
             thevenins.push(th.shifted(agg.switch_time));
         }

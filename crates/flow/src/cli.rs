@@ -10,7 +10,7 @@ use sna_spice::backend::BackendKind;
 use sna_spice::solver::SolverKind;
 use sna_spice::units::PS;
 
-use crate::corners::{corner_by_name, run_corners};
+use crate::corners::corner_by_name;
 use crate::deck::{deck_to_csv, deck_to_json, deck_to_text, run_deck_file, DeckOptions};
 use crate::driver::FlowOptions;
 use crate::metrics::metrics_to_json;
@@ -79,6 +79,11 @@ pub struct CliConfig {
     pub victim: Option<String>,
     /// Aggressor sources for decks without a `.sna` card.
     pub aggressors: Vec<String>,
+    /// Persistent characterization cache (`sna-libcache-v1`) to warm the
+    /// library from before the run and rewrite after it.
+    pub library_cache: Option<String>,
+    /// Run the long-lived `sna serve` query loop instead of one batch run.
+    pub serve: bool,
 }
 
 impl Default for CliConfig {
@@ -101,6 +106,8 @@ impl Default for CliConfig {
             threshold: None,
             victim: None,
             aggressors: Vec::new(),
+            library_cache: None,
+            serve: false,
         }
     }
 }
@@ -112,6 +119,18 @@ sna — parallel full-chip static noise analysis (Forzan & Pandini macromodel)
 USAGE:
     sna [OPTIONS]
     sna --deck <FILE> [OPTIONS]
+    sna serve [OPTIONS]
+
+SERVE MODE:
+    sna serve             hold the design and characterization library in
+                          memory and answer newline-delimited JSON queries
+                          on stdin (one response per line on stdout):
+                          {\"cmd\":\"analyze\"[,\"clusters\":[...]]} analyzes,
+                          re-running only clusters whose fingerprints
+                          changed; {\"cmd\":\"edit\",\"cluster\":...} mutates a
+                          cluster; {\"cmd\":\"guard_band\",\"value\":v},
+                          {\"cmd\":\"stats\"} and {\"cmd\":\"shutdown\"} do what
+                          they say. Honors --library-cache across sessions.
 
 DECK MODE:
     --deck <FILE>         analyze a SPICE deck (.subckt hierarchies are
@@ -144,6 +163,11 @@ OPTIONS:
                           compute backend for the K-lane batched
                           characterization sweeps (results are
                           bit-identical across backends)
+    --library-cache <P>   persistent characterization cache file
+                          (sna-libcache-v1): loaded before the run (stale
+                          or corrupt entries are rejected and recomputed),
+                          rewritten after it. A warm second run performs
+                          zero characterization solves.
     --metrics <PATH>      write an sna-metrics-v1 JSON document (solver /
                           dc / tran / sweep counters, cache breakdown,
                           pool timings, phase tree) after the run
@@ -243,6 +267,8 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     return Err("--aggressors has an empty entry".into());
                 }
             }
+            "--library-cache" => cfg.library_cache = Some(parse_value(arg, it.next())?),
+            "serve" => cfg.serve = true,
             "--metrics" => cfg.metrics = Some(parse_value(arg, it.next())?),
             "--profile" => cfg.profile = Some(parse_value(arg, it.next())?),
             "--quiet" => cfg.log_level = LogLevel::Quiet,
@@ -272,6 +298,12 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
     if cfg.profile.is_some() {
         sna_obs::set_tracing_enabled(true);
     }
+    if cfg.serve {
+        // Serve owns stdin/stdout for its query loop; there is no batch
+        // report to render.
+        crate::serve::run_serve(cfg)?;
+        return Ok(String::new());
+    }
     if let Some(deck) = &cfg.deck {
         return run_deck_mode(cfg, deck);
     }
@@ -294,9 +326,29 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
         },
         threads: cfg.threads,
     };
+    let library = sna_core::library::NoiseModelLibrary::new();
+    if let Some(path) = &cfg.library_cache {
+        let load = crate::cache::load_library_cache(std::path::Path::new(path), &library);
+        if cfg.log_level >= LogLevel::Normal {
+            eprintln!("{}", load.message);
+        }
+    }
     let started = std::time::Instant::now();
-    let corner_reports = run_corners(&corners, cfg.clusters, cfg.seed, &opts)?;
+    let corner_reports =
+        crate::corners::run_corners_with(&corners, cfg.clusters, cfg.seed, &opts, &library)?;
     let elapsed = started.elapsed();
+    if let Some(path) = &cfg.library_cache {
+        match crate::cache::save_library_cache(std::path::Path::new(path), &library) {
+            Ok(bytes) => {
+                if cfg.log_level >= LogLevel::Normal {
+                    eprintln!("library cache '{path}': wrote {bytes} bytes");
+                }
+            }
+            // A failed save must not fail the analysis: the report is
+            // already computed and correct.
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
     let total_clusters: usize = corner_reports.iter().map(|c| c.flow.report.total()).sum();
     if cfg.log_level >= LogLevel::Normal {
         for c in &corner_reports {
@@ -540,6 +592,43 @@ mod tests {
             .unwrap_err()
             .contains("unknown option"));
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn cache_and_serve_flags_parse() {
+        let cfg = parse_args(&args(&["--library-cache", "lib.snc"])).unwrap();
+        assert_eq!(cfg.library_cache.as_deref(), Some("lib.snc"));
+        assert!(!cfg.serve);
+        let cfg = parse_args(&args(&["serve", "--clusters", "4"])).unwrap();
+        assert!(cfg.serve);
+        assert_eq!(cfg.clusters, 4);
+        assert!(parse_args(&args(&["--library-cache"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(USAGE.contains("--library-cache"));
+        assert!(USAGE.contains("sna serve"));
+    }
+
+    #[test]
+    fn library_cache_round_trip_through_run() {
+        let dir = std::env::temp_dir().join("sna_cli_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.snc");
+        std::fs::remove_file(&path).ok();
+        let cfg = CliConfig {
+            clusters: 2,
+            threads: 1,
+            format: Format::Json,
+            log_level: LogLevel::Quiet,
+            library_cache: Some(path.display().to_string()),
+            ..Default::default()
+        };
+        let cold = run(&cfg).expect("cold run");
+        assert!(path.exists(), "cache file written after the run");
+        let warm = run(&cfg).expect("warm run");
+        // Persistence must be invisible in the report.
+        assert_eq!(cold, warm);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! its own receiver NRC, and its own parallel flow run.
 
 use sna_cells::{Cell, Technology};
-use sna_core::library::{ArtifactKind, NoiseModelLibrary};
-use sna_core::nrc::characterize_nrc_with;
+use sna_core::library::{LibraryStats, NoiseModelLibrary};
 use sna_core::sna::Design;
 use sna_obs::{phase_span, trace_span, Phase};
 use sna_spice::error::{Error, Result};
@@ -55,22 +54,44 @@ pub fn run_corners(
     seed: u64,
     opts: &FlowOptions,
 ) -> Result<Vec<CornerReport>> {
+    run_corners_with(corners, n_clusters, seed, opts, &NoiseModelLibrary::new())
+}
+
+/// [`run_corners`] against a caller-supplied characterization library —
+/// the entry point of the persistent-cache flow (`--library-cache`) and
+/// of `sna serve`.
+///
+/// One library safely serves every corner: artifact keys fingerprint the
+/// full [`Technology`], so corners can never alias. Each corner's
+/// [`FlowReport::cache`] is the counter *delta* it added (the NRC sweep
+/// plus its flow), not the library's cumulative totals, so metrics
+/// aggregation across corners — and across `serve` queries — stays exact.
+///
+/// # Errors
+///
+/// Propagates NRC characterization failures and (in strict mode)
+/// per-cluster failures.
+pub fn run_corners_with(
+    corners: &[Technology],
+    n_clusters: usize,
+    seed: u64,
+    opts: &FlowOptions,
+    library: &NoiseModelLibrary,
+) -> Result<Vec<CornerReport>> {
     let mut out = Vec::with_capacity(corners.len());
     for tech in corners {
         let _t = phase_span(Phase::Corner);
         let _tr = trace_span("corner", &tech.name);
         let design = Design::random(tech, n_clusters, seed);
-        // The corner owns the characterization cache so the NRC sweep shows
-        // up in its per-artifact-kind statistics alongside the flow's work.
-        let library = NoiseModelLibrary::new();
-        library.record_uncached(ArtifactKind::Nrc);
-        let nrc = characterize_nrc_with(
+        let before = library.stats();
+        let nrc = library.nrc(
             &Cell::inv(tech.clone(), 1.0),
             true,
             &NRC_WIDTHS,
             opts.mm.solver,
         )?;
-        let flow = run_sna_parallel_with(&design, &nrc, opts, &library)?;
+        let mut flow = run_sna_parallel_with(&design, &nrc, opts, library)?;
+        flow.cache = LibraryStats::delta(&library.stats(), &before);
         out.push(CornerReport {
             tech: tech.name.clone(),
             flow,
@@ -88,6 +109,32 @@ mod tests {
         assert_eq!(corner_by_name("cmos130").unwrap().name, "cmos130");
         assert_eq!(corner_by_name("cmos90").unwrap().name, "cmos90");
         assert!(corner_by_name("cmos7").is_err());
+    }
+
+    #[test]
+    fn shared_library_makes_second_sweep_all_hits() {
+        let corners = [Technology::cmos130()];
+        let opts = FlowOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let lib = NoiseModelLibrary::new();
+        let cold = run_corners_with(&corners, 2, 17, &opts, &lib).expect("cold");
+        let warm = run_corners_with(&corners, 2, 17, &opts, &lib).expect("warm");
+        // Cold pays characterization; the warm sweep of the same design
+        // re-characterizes nothing (thevenin/nrc included) and its delta
+        // stats report only its own hits.
+        assert!(cold[0].flow.cache.misses > 0);
+        assert_eq!(warm[0].flow.cache.misses, 0);
+        assert_eq!(
+            warm[0].flow.cache.hits,
+            cold[0].flow.cache.hits + cold[0].flow.cache.misses
+        );
+        // Same artifacts in, same findings out.
+        assert_eq!(
+            format!("{:?}", cold[0].flow.report),
+            format!("{:?}", warm[0].flow.report)
+        );
     }
 
     #[test]

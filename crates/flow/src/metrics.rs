@@ -11,9 +11,12 @@
 //!
 //! * `solver` / `dc` / `tran` / `sweep` — the `sna-obs` counters of the
 //!   four instrumented simulator layers,
+//! * `serve` — `sna serve` session counters (queries handled, clusters
+//!   re-analyzed, memoized results reused),
 //! * `cache` — per-artifact-kind hit/miss breakdown of the shared
-//!   characterization cache, aggregated across corners, plus per-shard
-//!   occupancy,
+//!   characterization cache (including `disk_hits`/`disk_misses`/
+//!   `stale_rejected` provenance from a `--library-cache` file),
+//!   aggregated across corners, plus per-shard occupancy,
 //! * `pool` — per-corner worker-pool execution metrics (busy time, job
 //!   counts, chunk counts, per-cluster wall times),
 //! * `phases` — the hierarchical phase-tree timings (parent → child edges
@@ -25,7 +28,8 @@ use sna_obs::{Metric, Snapshot};
 use crate::corners::CornerReport;
 
 /// JSON string escaping per RFC 8259 (quotes, backslashes, control chars).
-fn esc(s: &str) -> String {
+/// Shared with the `serve` responder, which emits the same dialect.
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -66,28 +70,31 @@ fn section(out: &mut String, snap: &Snapshot, name: &str, metrics: &[Metric], la
 }
 
 fn cache_section(out: &mut String, corners: &[CornerReport]) {
-    // Aggregate across corners: each corner owns an independent library.
+    // Aggregate across corners: each corner's `cache` is the counter delta
+    // it added to the (shared, possibly disk-warmed) library, so counts
+    // sum exactly. Shard occupancy is an absolute end-of-corner snapshot;
+    // the last corner's is the library's final state.
     let mut total = LibraryStats::default();
     for c in corners {
         let st = &c.flow.cache;
         total.hits += st.hits;
         total.misses += st.misses;
+        total.disk_hits += st.disk_hits;
+        total.disk_misses += st.disk_misses;
+        total.stale_rejected += st.stale_rejected;
         for (acc, k) in total.by_kind.iter_mut().zip(st.by_kind.iter()) {
             acc.hits += k.hits;
             acc.misses += k.misses;
+            acc.disk_hits += k.disk_hits;
+            acc.disk_misses += k.disk_misses;
+            acc.stale_rejected += k.stale_rejected;
         }
-        for (acc, occ) in total
-            .shard_occupancy
-            .iter_mut()
-            .zip(st.shard_occupancy.iter())
-        {
-            *acc += occ;
-        }
+        total.shard_occupancy = st.shard_occupancy;
     }
     out.push_str("  \"cache\": {\n");
     out.push_str(&format!(
-        "    \"hits\": {}, \"misses\": {},\n",
-        total.hits, total.misses
+        "    \"hits\": {}, \"misses\": {}, \"disk_hits\": {}, \"disk_misses\": {}, \"stale_rejected\": {},\n",
+        total.hits, total.misses, total.disk_hits, total.disk_misses, total.stale_rejected
     ));
     out.push_str("    \"by_kind\": {");
     let rows: Vec<String> = ALL_ARTIFACT_KINDS
@@ -95,10 +102,13 @@ fn cache_section(out: &mut String, corners: &[CornerReport]) {
         .map(|&k| {
             let ks = total.kind(k);
             format!(
-                "\"{}\": {{\"hits\": {}, \"misses\": {}}}",
+                "\"{}\": {{\"hits\": {}, \"misses\": {}, \"disk_hits\": {}, \"disk_misses\": {}, \"stale_rejected\": {}}}",
                 k.name(),
                 ks.hits,
-                ks.misses
+                ks.misses,
+                ks.disk_hits,
+                ks.disk_misses,
+                ks.stale_rejected
             )
         })
         .collect();
@@ -249,6 +259,17 @@ pub fn metrics_to_json(snap: &Snapshot, corners: &[CornerReport], elapsed_s: f64
         ],
         false,
     );
+    section(
+        &mut out,
+        snap,
+        "serve",
+        &[
+            Metric::ServeQueries,
+            Metric::ServeReanalyzed,
+            Metric::ServeMemoHits,
+        ],
+        false,
+    );
     cache_section(&mut out, corners);
     pool_section(&mut out, corners);
     phases_section(&mut out, snap);
@@ -295,7 +316,12 @@ mod tests {
             "\"dc\":",
             "\"tran\":",
             "\"sweep\":",
+            "\"serve\":",
+            "\"queries\":",
             "\"cache\":",
+            "\"disk_hits\":",
+            "\"disk_misses\":",
+            "\"stale_rejected\":",
             "\"by_kind\":",
             "\"load_curve\":",
             "\"thevenin\":",

@@ -55,10 +55,16 @@ pub enum Metric {
     SweepSerialFallbacks,
     /// Lock-step transient steps taken by batched sweeps.
     SweepSteps,
+    /// Queries handled by an `sna serve` session (any command).
+    ServeQueries,
+    /// Clusters re-analyzed by `sna serve` (fingerprint changed or cold).
+    ServeReanalyzed,
+    /// Cluster analyses `sna serve` satisfied from its result memo.
+    ServeMemoHits,
 }
 
 /// Number of [`Metric`] variants; recorders are `[AtomicU64; METRIC_COUNT]`.
-pub const METRIC_COUNT: usize = 22;
+pub const METRIC_COUNT: usize = 25;
 
 /// Every metric, in index order. Reports iterate this so the document and
 /// the enum can never drift apart.
@@ -85,6 +91,9 @@ pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
     Metric::SweepLaneNewtonIterations,
     Metric::SweepSerialFallbacks,
     Metric::SweepSteps,
+    Metric::ServeQueries,
+    Metric::ServeReanalyzed,
+    Metric::ServeMemoHits,
 ];
 
 impl Metric {
@@ -113,6 +122,9 @@ impl Metric {
             Metric::SweepLaneNewtonIterations => "lane_newton_iterations",
             Metric::SweepSerialFallbacks => "serial_fallbacks",
             Metric::SweepSteps => "steps",
+            Metric::ServeQueries => "queries",
+            Metric::ServeReanalyzed => "reanalyzed",
+            Metric::ServeMemoHits => "memo_hits",
         }
     }
 }
