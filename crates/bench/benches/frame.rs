@@ -1,0 +1,298 @@
+//! FRAME pruning: constraint-aware alignment vs exhaustive enumeration.
+//!
+//! The paper's alignment search treats every aggressor as free to switch
+//! anywhere; timing windows and mutual-exclusion groups from the design's
+//! timing/logic context shrink the candidate space before any simulation
+//! is spent. This bench measures that shrinkage on the paper's Table 2
+//! cluster: the pruned constrained search vs the exhaustive enumeration of
+//! the same candidate space, plus the batched-vs-serial cost of the
+//! unconstrained `worst_case_alignment` grid passes.
+//!
+//! Three modes, mirroring `benches/sweep.rs`:
+//!
+//! * default — criterion harness: pruned vs exhaustive per grid size.
+//! * `--format json` — hand-timed medians as the `sna-bench-frame-v1`
+//!   document checked in as `BENCH_frame.json`. Headline numbers:
+//!   `prune_rate` (fraction of candidates never simulated) and
+//!   `speedup_vs_exhaustive` (wall-clock win of pruning).
+//! * `--test` — smoke run: structural assertions only (pruning ≥ 50% on
+//!   the constrained fixture, pruned == exhaustive bitwise on a fully
+//!   feasible one); timing ratios are not asserted on shared CI runners.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sna_cells::Cell;
+use sna_core::cluster::{ClusterMacromodel, SwitchingWindow};
+use sna_core::frame::{constrained_worst_case, FrameOutcome};
+use sna_core::nrc::{characterize_nrc, NoiseRejectionCurve};
+use sna_core::prelude::{worst_case_alignment, worst_case_alignment_batched};
+use sna_core::scenarios::table2_spec;
+use sna_spice::backend::BackendKind;
+use sna_spice::units::{NS, PS};
+
+fn nrc() -> NoiseRejectionCurve {
+    let tech = sna_cells::Technology::cmos130();
+    characterize_nrc(
+        &Cell::inv(tech, 1.0),
+        true,
+        &[100.0 * PS, 300.0 * PS, 900.0 * PS],
+    )
+    .expect("NRC characterization")
+}
+
+/// The constrained fixture: both aggressors windowed and mutually
+/// exclusive, one window straddling the edge of the victim's sensitivity
+/// interval — so both pruning stages fire: late positions of aggressor 1
+/// die at the window check, and its surviving early position conflicts
+/// with aggressor 0 via the mexcl group.
+fn constrained_model() -> ClusterMacromodel {
+    let mut spec = table2_spec();
+    spec.aggressors[0].mexcl_group = Some(1);
+    spec.aggressors[1].mexcl_group = Some(1);
+    spec.aggressors[0].window = Some(SwitchingWindow::new(0.3 * NS, 0.7 * NS));
+    spec.aggressors[1].window = Some(SwitchingWindow::new(0.9 * NS, 2.6 * NS));
+    spec.victim.sensitivity = Some(SwitchingWindow::new(0.0, 1.2 * NS));
+    ClusterMacromodel::build(&spec).expect("constrained macromodel")
+}
+
+/// A fully feasible fixture: windows inside an always-sensitive victim,
+/// no mexcl — nothing prunes, so pruned and exhaustive runs must agree
+/// bitwise (the CI gate's premise).
+fn feasible_model() -> ClusterMacromodel {
+    let mut spec = table2_spec();
+    spec.aggressors[0].window = Some(SwitchingWindow::new(0.3 * NS, 0.6 * NS));
+    spec.aggressors[1].window = Some(SwitchingWindow::new(0.2 * NS, 0.7 * NS));
+    ClusterMacromodel::build(&spec).expect("feasible macromodel")
+}
+
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct FrameCase {
+    grid: usize,
+    backend: BackendKind,
+    considered: u64,
+    pruned_window: u64,
+    pruned_mexcl: u64,
+    simulated: u64,
+    prune_rate: f64,
+    pruned_ms: f64,
+    exhaustive_ms: f64,
+    speedup_vs_exhaustive: f64,
+    margins_match_feasible_subset: bool,
+}
+
+/// One (grid, backend) point on the constrained fixture: counters from a
+/// pruned run, median wall times for pruned vs exhaustive enumeration.
+fn run_case(grid: usize, backend: BackendKind, reps: usize) -> FrameCase {
+    let model = constrained_model();
+    let n = nrc();
+    let pruned: FrameOutcome = constrained_worst_case(&model, &n, grid, false, backend).unwrap();
+    let full = constrained_worst_case(&model, &n, grid, true, backend).unwrap();
+    let pruned_ms = 1e3
+        * median_secs(reps, || {
+            std::hint::black_box(constrained_worst_case(&model, &n, grid, false, backend).unwrap());
+        });
+    let exhaustive_ms = 1e3
+        * median_secs(reps, || {
+            std::hint::black_box(constrained_worst_case(&model, &n, grid, true, backend).unwrap());
+        });
+    FrameCase {
+        grid,
+        backend,
+        considered: pruned.counters.considered,
+        pruned_window: pruned.counters.pruned_window,
+        pruned_mexcl: pruned.counters.pruned_mexcl,
+        simulated: pruned.counters.simulated,
+        prune_rate: pruned.counters.prune_rate(),
+        pruned_ms,
+        exhaustive_ms,
+        speedup_vs_exhaustive: exhaustive_ms / pruned_ms.max(1e-12),
+        // Feasible ⊆ exhaustive: the pruned margin can never be more
+        // optimistic than re-finding its own candidate in the full set.
+        margins_match_feasible_subset: pruned.margin >= full.margin,
+    }
+}
+
+struct AlignCase {
+    backend: BackendKind,
+    evaluations_serial: usize,
+    evaluations_batched: usize,
+    serial_ms: f64,
+    batched_ms: f64,
+    peak_agreement: f64,
+}
+
+/// Unconstrained `worst_case_alignment` vs its batched twin: same probe
+/// sequence (the 7-point grid pass runs as one K=7 batch), so evaluation
+/// counts match and the wall delta is pure batching overhead/win.
+fn run_align_case(backend: BackendKind, reps: usize) -> AlignCase {
+    let model = ClusterMacromodel::build(&table2_spec()).expect("macromodel");
+    let window = 400.0 * PS;
+    let serial = worst_case_alignment(&model, window).unwrap();
+    let batched = worst_case_alignment_batched(&model, window, backend).unwrap();
+    let serial_ms = 1e3
+        * median_secs(reps, || {
+            std::hint::black_box(worst_case_alignment(&model, window).unwrap());
+        });
+    let batched_ms = 1e3
+        * median_secs(reps, || {
+            std::hint::black_box(worst_case_alignment_batched(&model, window, backend).unwrap());
+        });
+    AlignCase {
+        backend,
+        evaluations_serial: serial.evaluations,
+        evaluations_batched: batched.evaluations,
+        serial_ms,
+        batched_ms,
+        peak_agreement: (serial.dp_metrics.peak - batched.dp_metrics.peak).abs(),
+    }
+}
+
+fn emit_json(cases: &[FrameCase], aligns: &[AlignCase]) {
+    println!("{{");
+    println!("  \"schema\": \"sna-bench-frame-v1\",");
+    println!(
+        "  \"circuit\": \"Table 2 cluster, two aggressors; constrained fixture: one \
+         mexcl pair, one window straddling the victim sensitivity edge\","
+    );
+    println!("  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        println!(
+            "    {{\"grid\": {}, \"backend\": \"{:?}\", \"considered\": {}, \
+             \"pruned_window\": {}, \"pruned_mexcl\": {}, \"simulated\": {}, \
+             \"prune_rate\": {:.4}, \"pruned_ms\": {:.4}, \"exhaustive_ms\": {:.4}, \
+             \"speedup_vs_exhaustive\": {:.4}}}{}",
+            c.grid,
+            c.backend,
+            c.considered,
+            c.pruned_window,
+            c.pruned_mexcl,
+            c.simulated,
+            c.prune_rate,
+            c.pruned_ms,
+            c.exhaustive_ms,
+            c.speedup_vs_exhaustive,
+            comma
+        );
+    }
+    println!("  ],");
+    println!("  \"alignment\": [");
+    for (i, a) in aligns.iter().enumerate() {
+        let comma = if i + 1 < aligns.len() { "," } else { "" };
+        println!(
+            "    {{\"backend\": \"{:?}\", \"evaluations_serial\": {}, \
+             \"evaluations_batched\": {}, \"serial_ms\": {:.4}, \"batched_ms\": {:.4}, \
+             \"peak_agreement_v\": {:.3e}}}{}",
+            a.backend,
+            a.evaluations_serial,
+            a.evaluations_batched,
+            a.serial_ms,
+            a.batched_ms,
+            a.peak_agreement,
+            comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+/// Smoke mode for CI: deterministic assertions only.
+fn self_test() {
+    for backend in [BackendKind::Scalar, BackendKind::Batched] {
+        let c = run_case(2, backend, 1);
+        assert!(
+            c.prune_rate >= 0.5,
+            "{backend:?}: constrained fixture prunes only {:.0}%",
+            c.prune_rate * 100.0
+        );
+        assert_eq!(c.considered, c.pruned_window + c.pruned_mexcl + c.simulated);
+        assert!(c.margins_match_feasible_subset);
+
+        // Fully feasible: pruned and exhaustive agree bitwise.
+        let model = feasible_model();
+        let n = nrc();
+        let pruned = constrained_worst_case(&model, &n, 3, false, backend).unwrap();
+        let full = constrained_worst_case(&model, &n, 3, true, backend).unwrap();
+        assert_eq!(
+            pruned.counters.pruned_window + pruned.counters.pruned_mexcl,
+            0
+        );
+        assert_eq!(pruned.margin.to_bits(), full.margin.to_bits());
+        assert_eq!(pruned.switch_times, full.switch_times);
+
+        let a = run_align_case(backend, 1);
+        assert_eq!(
+            a.evaluations_serial, a.evaluations_batched,
+            "{backend:?}: batched alignment changed the probe sequence"
+        );
+        assert!(
+            a.peak_agreement < 1e-6,
+            "{backend:?}: alignment peaks deviate {:.3e} V",
+            a.peak_agreement
+        );
+        println!(
+            "frame smoke [{backend:?}]: prune {:.0}%, align evals {} — ok",
+            c.prune_rate * 100.0,
+            a.evaluations_serial
+        );
+    }
+    println!("frame bench self-test: OK");
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    group.sample_size(10);
+    let model = constrained_model();
+    let n = nrc();
+    for grid in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("pruned", grid), |b| {
+            b.iter(|| constrained_worst_case(&model, &n, grid, false, BackendKind::Scalar).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("exhaustive", grid), |b| {
+            b.iter(|| constrained_worst_case(&model, &n, grid, true, BackendKind::Scalar).unwrap())
+        });
+    }
+    group.finish();
+}
+
+// Same dispatch pattern as benches/sweep.rs: criterion by default, plus
+// the `--test` / `--format json` modes.
+criterion_group!(benches, bench_frame);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--test") {
+        self_test();
+        return;
+    }
+    let json = args
+        .windows(2)
+        .any(|w| w[0] == "--format" && w[1] == "json");
+    if json {
+        let mut cases = Vec::new();
+        for backend in [BackendKind::Scalar, BackendKind::Batched] {
+            for grid in [2usize, 4, 6] {
+                cases.push(run_case(grid, backend, 5));
+            }
+        }
+        let aligns = [
+            run_align_case(BackendKind::Scalar, 5),
+            run_align_case(BackendKind::Batched, 5),
+        ];
+        emit_json(&cases, &aligns);
+        return;
+    }
+    benches();
+}

@@ -279,12 +279,14 @@ fn main() {
             }
         }
         // The 1003-unknown stress case: same topology at 500 segments per
-        // wire, K=4 geometry corners, both backends.
+        // wire, K=4 and K=16 geometry corners, both backends.
         for backend in [BackendKind::Scalar, BackendKind::Batched] {
             let t1 = run_case(LARGE_SEGMENTS, 1, backend, 3, None);
             let t1_ms = t1.batched_total_ms;
             cases.push(t1);
-            cases.push(run_case(LARGE_SEGMENTS, 4, backend, 3, Some(t1_ms)));
+            for k in [4usize, 16] {
+                cases.push(run_case(LARGE_SEGMENTS, k, backend, 3, Some(t1_ms)));
+            }
         }
         emit_json(&cases);
         return;

@@ -63,6 +63,40 @@ impl InputGlitch {
     }
 }
 
+/// A timing window `[t_min, t_max]` within which an event may occur (s).
+///
+/// On an aggressor it bounds the switch time (FRAME-style STA arrival
+/// window); on a victim it bounds the *sensitivity* interval during which
+/// injected noise can matter (e.g. the latching window of a downstream
+/// flop). A candidate alignment placing an aggressor edge that cannot
+/// overlap the victim's sensitivity window is infeasible and pruned
+/// before simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingWindow {
+    /// Earliest event time (s).
+    pub t_min: f64,
+    /// Latest event time (s).
+    pub t_max: f64,
+}
+
+impl SwitchingWindow {
+    /// Construct a window; `t_min` and `t_max` may coincide (a fixed event).
+    pub fn new(t_min: f64, t_max: f64) -> Self {
+        Self { t_min, t_max }
+    }
+
+    /// Whether the window is well-formed (finite, ordered).
+    pub fn is_valid(&self) -> bool {
+        self.t_min.is_finite() && self.t_max.is_finite() && self.t_min <= self.t_max
+    }
+
+    /// Whether an edge starting at `t` with transition duration `slew`
+    /// can overlap this window: `[t, t + slew] ∩ [t_min, t_max] ≠ ∅`.
+    pub fn overlaps_edge(&self, t: f64, slew: f64) -> bool {
+        t <= self.t_max && t + slew >= self.t_min
+    }
+}
+
 /// One aggressor of a cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AggressorSpec {
@@ -77,6 +111,22 @@ pub struct AggressorSpec {
     /// Input capacitance of the aggressor's receiver, loading the far end
     /// of its wire (F).
     pub receiver_cap: f64,
+    /// Optional switching window constraining when this aggressor may
+    /// switch. `None` means unconstrained (always switches at
+    /// `switch_time`; the pessimistic assumption).
+    pub window: Option<SwitchingWindow>,
+    /// Optional mutual-exclusion group id: at most one aggressor of a
+    /// group may switch in any feasible alignment (e.g. outputs of the
+    /// same one-hot decoder). `None` means no logical constraint.
+    pub mexcl_group: Option<u32>,
+}
+
+impl AggressorSpec {
+    /// Whether this aggressor carries any FRAME constraint (window or
+    /// mutual-exclusion membership).
+    pub fn is_constrained(&self) -> bool {
+        self.window.is_some() || self.mexcl_group.is_some()
+    }
 }
 
 /// The victim side of a cluster.
@@ -91,6 +141,11 @@ pub struct VictimSpec {
     /// Receiver cell at the victim's far end (its input capacitance loads
     /// the net; NRC checks use it too).
     pub receiver: Cell,
+    /// Optional sensitivity window: the interval during which the victim's
+    /// receiver actually samples (latches) the net. Aggressor edges that
+    /// cannot overlap it are pruned from the constrained analysis. `None`
+    /// means always sensitive.
+    pub sensitivity: Option<SwitchingWindow>,
 }
 
 /// Full physical description of a noise cluster.
@@ -134,7 +189,34 @@ impl ClusterSpec {
                 self.dt, self.t_stop
             )));
         }
+        for (k, agg) in self.aggressors.iter().enumerate() {
+            if let Some(w) = &agg.window {
+                if !w.is_valid() {
+                    return Err(Error::InvalidAnalysis(format!(
+                        "aggressor {k} switching window [{}, {}] is invalid \
+                         (need finite t_min <= t_max)",
+                        w.t_min, w.t_max
+                    )));
+                }
+            }
+        }
+        if let Some(w) = &self.victim.sensitivity {
+            if !w.is_valid() {
+                return Err(Error::InvalidAnalysis(format!(
+                    "victim sensitivity window [{}, {}] is invalid \
+                     (need finite t_min <= t_max)",
+                    w.t_min, w.t_max
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// Whether any aggressor carries a window or mutual-exclusion
+    /// constraint (i.e. whether a constrained FRAME analysis would differ
+    /// from the pessimistic one).
+    pub fn has_frame_constraints(&self) -> bool {
+        self.aggressors.iter().any(AggressorSpec::is_constrained)
     }
 
     /// Total capacitance hanging on the victim net (wire ground + coupling

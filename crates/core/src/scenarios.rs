@@ -57,6 +57,7 @@ pub fn table1_spec() -> ClusterSpec {
                 t_peak: 0.55 * NS,
             }),
             receiver: Cell::inv(tech.clone(), 1.0),
+            sensitivity: None,
         },
         aggressors: vec![AggressorSpec {
             cell: Cell::inv(tech.clone(), 2.5),
@@ -64,6 +65,8 @@ pub fn table1_spec() -> ClusterSpec {
             input_slew: 60.0 * PS,
             switch_time: 0.4 * NS,
             receiver_cap: Cell::inv(tech, 1.0).input_capacitance(),
+            window: None,
+            mexcl_group: None,
         }],
         bus,
         char_opts: default_opts(),
@@ -98,6 +101,8 @@ pub fn table2_spec() -> ClusterSpec {
         input_slew: 60.0 * PS,
         switch_time: 0.4 * NS,
         receiver_cap: Cell::inv(tech.clone(), 1.0).input_capacitance(),
+        window: None,
+        mexcl_group: None,
     };
     ClusterSpec {
         tech: tech.clone(),
@@ -110,6 +115,7 @@ pub fn table2_spec() -> ClusterSpec {
                 t_peak: 0.55 * NS,
             }),
             receiver: Cell::inv(tech.clone(), 1.0),
+            sensitivity: None,
         },
         aggressors: vec![agg(0), agg(1)],
         bus,
@@ -191,6 +197,8 @@ pub fn sweep_specs(quick: bool) -> Vec<SweepCase> {
                                 input_slew: 70.0 * PS,
                                 switch_time: 0.4 * NS,
                                 receiver_cap: Cell::inv(tech.clone(), 1.0).input_capacitance(),
+                                window: None,
+                                mexcl_group: None,
                             })
                             .collect();
                         let id = format!(
@@ -210,6 +218,7 @@ pub fn sweep_specs(quick: bool) -> Vec<SweepCase> {
                                     mode,
                                     glitch,
                                     receiver: Cell::inv(tech.clone(), 1.0),
+                                    sensitivity: None,
                                 },
                                 aggressors,
                                 bus,

@@ -20,11 +20,12 @@ use sna_spice::error::Result;
 use sna_spice::units::{NS, PS};
 use sna_spice::waveform::GlitchMetrics;
 
-use crate::alignment::worst_case_alignment;
+use crate::alignment::worst_case_alignment_batched;
 use crate::cluster::{
     AggressorSpec, ClusterMacromodel, ClusterSpec, InputGlitch, MacromodelOptions, VictimSpec,
 };
 use crate::engine::simulate_macromodel;
+use crate::frame::{constrained_worst_case, FrameOutcome};
 use crate::library::NoiseModelLibrary;
 use crate::nrc::NoiseRejectionCurve;
 use crate::scenarios::m4_bus;
@@ -105,6 +106,8 @@ impl Design {
                         RECEIVER_STRENGTHS[rng.gen_range(0..RECEIVER_STRENGTHS.len())],
                     )
                     .input_capacitance(),
+                    window: None,
+                    mexcl_group: None,
                 })
                 .collect();
             let bus = m4_bus(tech, n_agg + 1, len_um, 12);
@@ -117,6 +120,7 @@ impl Design {
                         mode,
                         glitch,
                         receiver: Cell::inv(tech.clone(), 1.0),
+                        sensitivity: None,
                     },
                     aggressors,
                     bus,
@@ -149,6 +153,13 @@ pub struct SnaOptions {
     /// Off by default: a production flow reports the bad net and keeps
     /// going; tests opt in to catch regressions.
     pub strict: bool,
+    /// Window sample points per constrained aggressor in the FRAME
+    /// candidate enumeration (clusters with windows/mexcl groups only).
+    pub frame_grid: usize,
+    /// Evaluate every structural FRAME candidate instead of pruning
+    /// infeasible ones — the exhaustive baseline the bench and the CI
+    /// byte-identity gate compare against.
+    pub frame_exhaustive: bool,
 }
 
 impl Default for SnaOptions {
@@ -158,6 +169,8 @@ impl Default for SnaOptions {
             align_window: 400.0 * PS,
             margin_band: 0.1,
             strict: false,
+            frame_grid: 4,
+            frame_exhaustive: false,
         }
     }
 }
@@ -173,6 +186,11 @@ pub struct ClusterFinding {
     pub margin: f64,
     /// Classification.
     pub verdict: Verdict,
+    /// Constrained (FRAME) outcome, present when the cluster carries
+    /// switching-window or mutual-exclusion constraints. The verdict
+    /// stays keyed to the pessimistic `margin`; this reports how much of
+    /// that pessimism the constraints recover.
+    pub constrained: Option<FrameOutcome>,
 }
 
 /// A cluster the flow could not analyze (macromodel build or engine
@@ -237,7 +255,7 @@ pub fn analyze_cluster(
 ) -> Result<ClusterFinding> {
     let model = ClusterMacromodel::build_with_library(&cluster.spec, mm_opts, library)?;
     let waves = if opts.align_worst_case {
-        let res = worst_case_alignment(&model, opts.align_window)?;
+        let res = worst_case_alignment_batched(&model, opts.align_window, mm_opts.backend)?;
         let timed = model.with_timing(&res.switch_times, res.glitch_peak_time);
         simulate_macromodel(&timed)?
     } else {
@@ -252,11 +270,25 @@ pub fn analyze_cluster(
     } else {
         Verdict::Pass
     };
+    // Constrained (FRAME) pass: only clusters that carry constraints pay
+    // for the enumeration; everything else reports pessimistic-only.
+    let constrained = if cluster.spec.has_frame_constraints() {
+        Some(constrained_worst_case(
+            &model,
+            nrc,
+            opts.frame_grid,
+            opts.frame_exhaustive,
+            mm_opts.backend,
+        )?)
+    } else {
+        None
+    };
     Ok(ClusterFinding {
         name: cluster.name.clone(),
         receiver_metrics: rm,
         margin,
         verdict,
+        constrained,
     })
 }
 
@@ -412,6 +444,7 @@ mod tests {
                 },
                 margin,
                 verdict: Verdict::Pass,
+                constrained: None,
             }
         }
         let report = NoiseReport {

@@ -84,6 +84,14 @@ pub struct CliConfig {
     pub library_cache: Option<String>,
     /// Run the long-lived `sna serve` query loop instead of one batch run.
     pub serve: bool,
+    /// FRAME constraint file (switching windows / mutual exclusion) applied
+    /// to the generated design before analysis.
+    pub windows: Option<String>,
+    /// Grid points per constrained aggressor window in the FRAME search.
+    pub frame_grid: usize,
+    /// Enumerate the full candidate space (pruning disabled) — the
+    /// reference mode the pruned search is byte-compared against.
+    pub frame_exhaustive: bool,
 }
 
 impl Default for CliConfig {
@@ -108,6 +116,9 @@ impl Default for CliConfig {
             aggressors: Vec::new(),
             library_cache: None,
             serve: false,
+            windows: None,
+            frame_grid: 4,
+            frame_exhaustive: false,
         }
     }
 }
@@ -163,6 +174,17 @@ OPTIONS:
                           compute backend for the K-lane batched
                           characterization sweeps (results are
                           bit-identical across backends)
+    --windows <FILE>      FRAME constraint file: per-aggressor switching
+                          windows and mutual-exclusion groups (plus victim
+                          sensitivity windows) applied to the generated
+                          design; constrained clusters report both the
+                          pessimistic and the constrained margin
+    --frame-grid <N>      grid points per constrained aggressor window in
+                          the FRAME alignment search        [default: 4]
+    --frame-exhaustive    enumerate the full constrained candidate space
+                          (disable window/mexcl pruning); on a fully
+                          feasible design the report is byte-identical to
+                          the pruned run
     --library-cache <P>   persistent characterization cache file
                           (sna-libcache-v1): loaded before the run (stale
                           or corrupt entries are rejected and recomputed),
@@ -268,6 +290,14 @@ pub fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                 }
             }
             "--library-cache" => cfg.library_cache = Some(parse_value(arg, it.next())?),
+            "--windows" => cfg.windows = Some(parse_value(arg, it.next())?),
+            "--frame-grid" => {
+                cfg.frame_grid = parse_value(arg, it.next())?;
+                if cfg.frame_grid == 0 {
+                    return Err("--frame-grid must be at least 1".into());
+                }
+            }
+            "--frame-exhaustive" => cfg.frame_exhaustive = true,
             "serve" => cfg.serve = true,
             "--metrics" => cfg.metrics = Some(parse_value(arg, it.next())?),
             "--profile" => cfg.profile = Some(parse_value(arg, it.next())?),
@@ -312,12 +342,18 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
         .iter()
         .map(|name| corner_by_name(name))
         .collect::<sna_spice::error::Result<_>>()?;
+    let windows = match &cfg.windows {
+        Some(path) => crate::windows::load_windows(std::path::Path::new(path))?,
+        None => Vec::new(),
+    };
     let opts = FlowOptions {
         sna: sna_core::sna::SnaOptions {
             align_worst_case: cfg.worst_case,
             align_window: 400.0 * PS,
             margin_band: cfg.guard_band,
             strict: cfg.strict,
+            frame_grid: cfg.frame_grid,
+            frame_exhaustive: cfg.frame_exhaustive,
         },
         mm: sna_core::cluster::MacromodelOptions {
             solver: cfg.solver,
@@ -334,8 +370,14 @@ pub fn run(cfg: &CliConfig) -> sna_spice::error::Result<String> {
         }
     }
     let started = std::time::Instant::now();
-    let corner_reports =
-        crate::corners::run_corners_with(&corners, cfg.clusters, cfg.seed, &opts, &library)?;
+    let corner_reports = crate::corners::run_corners_windowed(
+        &corners,
+        cfg.clusters,
+        cfg.seed,
+        &opts,
+        &library,
+        &windows,
+    )?;
     let elapsed = started.elapsed();
     if let Some(path) = &cfg.library_cache {
         match crate::cache::save_library_cache(std::path::Path::new(path), &library) {
@@ -592,6 +634,64 @@ mod tests {
             .unwrap_err()
             .contains("unknown option"));
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn frame_flags_parse() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.windows, None);
+        assert_eq!(cfg.frame_grid, 4);
+        assert!(!cfg.frame_exhaustive);
+        let cfg = parse_args(&args(&[
+            "--windows",
+            "win.txt",
+            "--frame-grid",
+            "7",
+            "--frame-exhaustive",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.windows.as_deref(), Some("win.txt"));
+        assert_eq!(cfg.frame_grid, 7);
+        assert!(cfg.frame_exhaustive);
+        assert!(parse_args(&args(&["--frame-grid", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_args(&args(&["--windows"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(USAGE.contains("--windows"));
+        assert!(USAGE.contains("--frame-exhaustive"));
+    }
+
+    #[test]
+    fn windows_file_flows_into_the_report() {
+        let dir = std::env::temp_dir().join("sna_cli_windows_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("win.txt");
+        // Tight windows around t=0 prune aggressors whose edges cannot
+        // reach the victim sensitivity interval.
+        std::fs::write(
+            &path,
+            "net000 0 window 1e-9 3e-9\nnet000 0 mexcl 1\nnet000 victim sensitivity 0 6e-9\n",
+        )
+        .unwrap();
+        let cfg = CliConfig {
+            clusters: 2,
+            threads: 1,
+            format: Format::Json,
+            log_level: LogLevel::Quiet,
+            windows: Some(path.display().to_string()),
+            ..Default::default()
+        };
+        let j = run(&cfg).expect("windowed run");
+        assert!(
+            j.contains("\"constrained_margin_v\": ") && j.contains("\"frame\": {"),
+            "constrained cluster must report a frame block:\n{j}"
+        );
+        // The pessimistic report is unchanged by constraints on net000's
+        // sibling: net001 keeps the stable null.
+        assert!(j.contains("\"constrained_margin_v\": null"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

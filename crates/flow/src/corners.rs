@@ -78,11 +78,34 @@ pub fn run_corners_with(
     opts: &FlowOptions,
     library: &NoiseModelLibrary,
 ) -> Result<Vec<CornerReport>> {
+    run_corners_windowed(corners, n_clusters, seed, opts, library, &[])
+}
+
+/// [`run_corners_with`] plus FRAME constraint edits (`--windows`): each
+/// corner's design is generated, patched with the switching-window /
+/// mutual-exclusion edits, and re-validated before analysis. An empty edit
+/// slice reproduces [`run_corners_with`] exactly.
+///
+/// # Errors
+///
+/// Propagates constraint-application failures (unknown nets, invalid
+/// windows) in addition to the [`run_corners_with`] failure modes.
+pub fn run_corners_windowed(
+    corners: &[Technology],
+    n_clusters: usize,
+    seed: u64,
+    opts: &FlowOptions,
+    library: &NoiseModelLibrary,
+    windows: &[crate::windows::WindowEdit],
+) -> Result<Vec<CornerReport>> {
     let mut out = Vec::with_capacity(corners.len());
     for tech in corners {
         let _t = phase_span(Phase::Corner);
         let _tr = trace_span("corner", &tech.name);
-        let design = Design::random(tech, n_clusters, seed);
+        let mut design = Design::random(tech, n_clusters, seed);
+        if !windows.is_empty() {
+            crate::windows::apply_windows(&mut design, windows)?;
+        }
         let before = library.stats();
         let nrc = library.nrc(
             &Cell::inv(tech.clone(), 1.0),

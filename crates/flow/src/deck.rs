@@ -18,6 +18,7 @@
 use std::path::Path;
 
 use sna_core::sna::Verdict;
+use sna_obs::Metric;
 use sna_spice::backend::BackendKind;
 use sna_spice::devices::SourceWaveform;
 use sna_spice::error::{Error, Result};
@@ -160,6 +161,52 @@ fn analyze_case(parsed: &ParsedDeck, card: &SnaCard, opts: &DeckOptions) -> Resu
         .as_ref()
         .ok_or_else(|| Error::InvalidAnalysis("deck mode needs a .tran card".to_string()))?;
 
+    // FRAME constraints: aggressors whose switching window cannot overlap
+    // the victim sensitivity interval — or who lost their mutual-exclusion
+    // slot to an earlier group member — cannot contribute noise, so they
+    // are frozen in *both* lanes (the lane difference then excludes them).
+    // Only sources in the card's aggressor list participate: a source
+    // outside it switches identically in both lanes and cancels anyway.
+    let mut pruned: Vec<String> = Vec::new();
+    if !(card.windows.is_empty() && card.mexcl.is_empty()) {
+        sna_obs::count(Metric::FrameClusters, 1);
+        sna_obs::count(
+            Metric::FrameCandidatesConsidered,
+            card.aggressors.len() as u64,
+        );
+        let in_aggressors = |src: &str| card.aggressors.iter().any(|a| a.eq_ignore_ascii_case(src));
+        if let Some((s_lo, s_hi)) = card.sensitivity {
+            for (src, lo, hi) in &card.windows {
+                if (*hi < s_lo || *lo > s_hi) && in_aggressors(src) {
+                    pruned.push(src.clone());
+                }
+            }
+        }
+        sna_obs::count(Metric::FramePrunedWindow, pruned.len() as u64);
+        // Within each mexcl group the first still-feasible member keeps
+        // switching; the rest are frozen. (The per-candidate search over
+        // group members is the synthetic-flow FRAME path; the deck path
+        // runs one transient, so it picks the deterministic representative.)
+        let mut claimed: Vec<u32> = Vec::new();
+        let mut mexcl_pruned = 0u64;
+        for (src, g) in &card.mexcl {
+            if !in_aggressors(src) || pruned.iter().any(|p| p.eq_ignore_ascii_case(src)) {
+                continue;
+            }
+            if claimed.contains(g) {
+                pruned.push(src.clone());
+                mexcl_pruned += 1;
+            } else {
+                claimed.push(*g);
+            }
+        }
+        sna_obs::count(Metric::FramePrunedMexcl, mexcl_pruned);
+        sna_obs::count(
+            Metric::FrameSimulated,
+            (card.aggressors.len() - pruned.len()) as u64,
+        );
+    }
+
     // Lane 1: aggressors frozen at their t = 0 value, so the lane difference
     // isolates the noise they inject.
     let mut quiet = circuit.clone();
@@ -178,7 +225,25 @@ fn analyze_case(parsed: &ParsedDeck, card: &SnaCard, opts: &DeckOptions) -> Resu
         quiet.set_source_wave(aggr, SourceWaveform::Dc(v0))?;
     }
 
-    let lanes = [circuit.clone(), quiet];
+    // Lane 0: the pruned aggressors are frozen here too, removing their
+    // contribution from the lane difference.
+    let mut noisy = circuit.clone();
+    for src in &pruned {
+        let id = noisy.find_element(src).ok_or_else(|| {
+            Error::InvalidAnalysis(format!("case '{name}': unknown constrained source '{src}'"))
+        })?;
+        let v0 = match noisy.element(id) {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => wave.eval(0.0),
+            _ => {
+                return Err(Error::InvalidAnalysis(format!(
+                    "case '{name}': constrained source '{src}' is not a V or I source"
+                )))
+            }
+        };
+        noisy.set_source_wave(src, SourceWaveform::Dc(v0))?;
+    }
+
+    let lanes = [noisy, quiet];
     let mut sweep = BatchedSweep::new(&lanes, opts.solver, opts.backend)?;
     let mut params = *tran;
     params.solver = opts.solver;
@@ -234,6 +299,9 @@ pub fn run_deck(parsed: &ParsedDeck, label: &str, opts: &DeckOptions) -> Result<
             victim,
             aggressors: opts.aggressors.clone(),
             threshold: None,
+            windows: Vec::new(),
+            mexcl: Vec::new(),
+            sensitivity: None,
         });
     }
     let outcomes = parallel_map_ordered(opts.threads, &cases, |_, card| {
@@ -461,6 +529,63 @@ Rb vic_in 0 1k
         assert_eq!(report.findings[0].metrics.peak, 0.0);
         assert_eq!(report.findings[0].verdict, Verdict::Pass);
         drop(parsed);
+    }
+
+    #[test]
+    fn infeasible_window_freezes_the_aggressor() {
+        // Window entirely after the sensitivity interval: Va cannot hit
+        // the receiver, so its noise contribution must vanish.
+        let deck = COUPLED.replace(
+            ".sna victim=vic aggressors=Va threshold=0.4 name=pair",
+            ".sna victim=vic aggressors=Va threshold=0.4 name=pair \
+             window=Va:4n:5n sensitivity=0:1n",
+        );
+        let parsed = parse_deck(&deck).unwrap();
+        let report = run_deck(&parsed, "mem", &opts()).unwrap();
+        assert_eq!(report.findings[0].metrics.peak, 0.0);
+        assert_eq!(report.findings[0].verdict, Verdict::Pass);
+
+        // A feasible window changes nothing: byte-identical to the
+        // unconstrained run.
+        let feasible = COUPLED.replace(
+            ".sna victim=vic aggressors=Va threshold=0.4 name=pair",
+            ".sna victim=vic aggressors=Va threshold=0.4 name=pair \
+             window=Va:0:2n sensitivity=0:8n",
+        );
+        let parsed_f = parse_deck(&feasible).unwrap();
+        let constrained = run_deck(&parsed_f, "mem", &opts()).unwrap();
+        let baseline = run_deck(&parse_deck(COUPLED).unwrap(), "mem", &opts()).unwrap();
+        assert_eq!(
+            constrained.findings[0].metrics.peak.to_bits(),
+            baseline.findings[0].metrics.peak.to_bits(),
+        );
+        assert_eq!(constrained.findings[0].margin, baseline.findings[0].margin);
+    }
+
+    #[test]
+    fn mexcl_keeps_one_group_member_switching() {
+        // Two identical aggressors in one mexcl group: the second is
+        // frozen, so the noise equals the single-aggressor run.
+        let two = COUPLED.replace(
+            "Va agg 0 PULSE(0 1.2 1n 0.2n 0.2n 2n)",
+            "Va agg 0 PULSE(0 1.2 1n 0.2n 0.2n 2n)\nVb agg2 0 PULSE(0 1.2 1n 0.2n 0.2n 2n)\nCc2 agg2 vic 20f\nRa2 agg2 0 1k",
+        );
+        let both = two.replace("aggressors=Va", "aggressors=Va,Vb");
+        let gated = two.replace("aggressors=Va", "aggressors=Va,Vb mexcl=Va:1,Vb:1");
+        // Reference: the same circuit with Vb held at DC 0 at the source —
+        // exactly what the mexcl freeze does (PULSE value at t = 0 is 0).
+        let frozen = both.replace("Vb agg2 0 PULSE(0 1.2 1n 0.2n 0.2n 2n)", "Vb agg2 0 DC 0");
+        let both_r = run_deck(&parse_deck(&both).unwrap(), "mem", &opts()).unwrap();
+        let gated_r = run_deck(&parse_deck(&gated).unwrap(), "mem", &opts()).unwrap();
+        let frozen_r = run_deck(&parse_deck(&frozen).unwrap(), "mem", &opts()).unwrap();
+        // Both aggressors together inject more than the gated pair.
+        assert!(both_r.findings[0].metrics.peak > gated_r.findings[0].metrics.peak * 1.5);
+        // The mexcl gate freezes exactly the second group member: bitwise
+        // the same lanes as the source-level freeze.
+        assert_eq!(
+            gated_r.findings[0].metrics.peak.to_bits(),
+            frozen_r.findings[0].metrics.peak.to_bits(),
+        );
     }
 
     #[test]

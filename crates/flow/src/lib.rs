@@ -24,19 +24,25 @@ pub mod metrics;
 pub mod output;
 pub mod pool;
 pub mod serve;
+pub mod windows;
 
 pub use cache::{load_library_cache, save_library_cache, CacheLoad};
-pub use corners::{corner_by_name, run_corners, run_corners_with, CornerReport};
+pub use corners::{
+    corner_by_name, run_corners, run_corners_windowed, run_corners_with, CornerReport,
+};
 pub use driver::{run_sna_parallel, run_sna_parallel_with, FlowOptions, FlowReport};
 pub use metrics::metrics_to_json;
 pub use pool::{auto_threads, parallel_map_ordered, parallel_map_ordered_metered, PoolMetrics};
 pub use serve::{run_serve, ServeState};
+pub use windows::{apply_windows, load_windows, parse_windows, WindowEdit};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cache::{load_library_cache, save_library_cache, CacheLoad};
     pub use crate::cli::{parse_args, CliConfig, Format, LogLevel};
-    pub use crate::corners::{corner_by_name, run_corners, run_corners_with, CornerReport};
+    pub use crate::corners::{
+        corner_by_name, run_corners, run_corners_windowed, run_corners_with, CornerReport,
+    };
     pub use crate::deck::{
         deck_to_csv, deck_to_json, deck_to_text, run_deck, run_deck_file, DeckFinding, DeckOptions,
         DeckReport, DeckSkipped,
@@ -46,4 +52,5 @@ pub mod prelude {
     pub use crate::output::{to_csv, to_json, to_text, RunSummary};
     pub use crate::pool::{auto_threads, parallel_map_ordered, parallel_map_ordered_metered};
     pub use crate::serve::{run_serve, ServeState};
+    pub use crate::windows::{apply_windows, load_windows, parse_windows, WindowEdit};
 }

@@ -270,6 +270,19 @@ pub fn metrics_to_json(snap: &Snapshot, corners: &[CornerReport], elapsed_s: f64
         ],
         false,
     );
+    section(
+        &mut out,
+        snap,
+        "frame",
+        &[
+            Metric::FrameClusters,
+            Metric::FrameCandidatesConsidered,
+            Metric::FramePrunedWindow,
+            Metric::FramePrunedMexcl,
+            Metric::FrameSimulated,
+        ],
+        false,
+    );
     cache_section(&mut out, corners);
     pool_section(&mut out, corners);
     phases_section(&mut out, snap);
@@ -318,6 +331,10 @@ mod tests {
             "\"sweep\":",
             "\"serve\":",
             "\"queries\":",
+            "\"frame\":",
+            "\"pruned_window\":",
+            "\"pruned_mexcl\":",
+            "\"simulated\":",
             "\"cache\":",
             "\"disk_hits\":",
             "\"disk_misses\":",

@@ -64,15 +64,30 @@ pub(crate) fn verdict_tag(v: Verdict) -> &'static str {
 fn json_findings(report: &NoiseReport, indent: &str) -> String {
     let mut rows = Vec::with_capacity(report.findings.len());
     for f in &report.findings {
+        // Constrained (FRAME) fields ride along only when the cluster
+        // carries constraints; unconstrained nets keep a stable `null`.
+        let constrained = match &f.constrained {
+            Some(c) => format!(
+                "{}, \"frame\": {{\"considered\": {}, \"pruned_window\": {}, \
+                 \"pruned_mexcl\": {}, \"simulated\": {}}}",
+                num(c.margin),
+                c.counters.considered,
+                c.counters.pruned_window,
+                c.counters.pruned_mexcl,
+                c.counters.simulated,
+            ),
+            None => "null".into(),
+        };
         rows.push(format!(
             "{indent}{{\"net\": \"{}\", \"verdict\": \"{}\", \"peak_v\": {}, \"width_s\": {}, \
-             \"area_vs\": {}, \"margin_v\": {}}}",
+             \"area_vs\": {}, \"margin_v\": {}, \"constrained_margin_v\": {}}}",
             esc(&f.name),
             verdict_tag(f.verdict),
             num(f.receiver_metrics.peak),
             num(f.receiver_metrics.width),
             num(f.receiver_metrics.area),
             num(f.margin),
+            constrained,
         ));
     }
     rows.join(",\n")
@@ -165,11 +180,17 @@ fn csv_num(v: f64) -> String {
 /// `skipped` verdict, empty numeric columns, and their diagnostic in the
 /// trailing `reason` column (empty for analyzed nets).
 pub fn to_csv(run: &RunSummary) -> String {
-    let mut out = String::from("corner,net,verdict,peak_v,width_s,area_vs,margin_v,reason\n");
+    let mut out = String::from(
+        "corner,net,verdict,peak_v,width_s,area_vs,margin_v,constrained_margin_v,reason\n",
+    );
     for c in &run.corners {
         for f in &c.flow.report.findings {
+            let constrained = f
+                .constrained
+                .as_ref()
+                .map_or(String::new(), |c| csv_num(c.margin));
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},\n",
+                "{},{},{},{},{},{},{},{},\n",
                 csv_field(&c.tech),
                 csv_field(&f.name),
                 verdict_tag(f.verdict),
@@ -177,11 +198,12 @@ pub fn to_csv(run: &RunSummary) -> String {
                 csv_num(f.receiver_metrics.width),
                 csv_num(f.receiver_metrics.area),
                 csv_num(f.margin),
+                constrained,
             ));
         }
         for s in &c.flow.report.skipped {
             out.push_str(&format!(
-                "{},{},skipped,,,,,{}\n",
+                "{},{},skipped,,,,,,{}\n",
                 csv_field(&c.tech),
                 csv_field(&s.name),
                 csv_field(&s.reason)
@@ -216,16 +238,21 @@ pub fn to_text(run: &RunSummary) -> String {
             r.skipped.len(),
         ));
         out.push_str(&format!(
-            "{:<8} {:>9} {:>10} {:>10}  verdict\n",
-            "net", "peak (V)", "width(ps)", "margin(V)"
+            "{:<8} {:>9} {:>10} {:>10} {:>10}  verdict\n",
+            "net", "peak (V)", "width(ps)", "margin(V)", "constr(V)"
         ));
         for f in r.worst_first() {
+            let constrained = match &f.constrained {
+                Some(c) => format!("{:>+10.3}", c.margin),
+                None => format!("{:>10}", "-"),
+            };
             out.push_str(&format!(
-                "{:<8} {:>9.3} {:>10.0} {:>+10.3}  {}\n",
+                "{:<8} {:>9.3} {:>10.0} {:>+10.3} {}  {}\n",
                 f.name,
                 f.receiver_metrics.peak,
                 f.receiver_metrics.width * 1e12,
                 f.margin,
+                constrained,
                 verdict_tag(f.verdict),
             ));
         }
@@ -256,6 +283,7 @@ mod tests {
             },
             margin: 0.375,
             verdict: Verdict::Pass,
+            constrained: None,
         };
         let report = NoiseReport {
             findings: vec![finding],
@@ -298,6 +326,9 @@ mod tests {
         assert!(j.contains("\"pass\": 1"));
         assert!(j.contains("\"skipped\": 1"));
         assert!(j.contains("\"margin_v\": 0.375"));
+        // Unconstrained nets keep a stable null so consumers can rely on
+        // the key being present.
+        assert!(j.contains("\"constrained_margin_v\": null"));
         // Balanced braces/brackets — cheap well-formedness check given no
         // JSON parser in the tree.
         assert_eq!(
@@ -325,7 +356,7 @@ mod tests {
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(
             lines[0],
-            "corner,net,verdict,peak_v,width_s,area_vs,margin_v,reason"
+            "corner,net,verdict,peak_v,width_s,area_vs,margin_v,constrained_margin_v,reason"
         );
         assert_eq!(lines.len(), 3); // header + 1 finding + 1 skipped
         assert!(lines[1].starts_with("cmos130,net000,pass,0.25,"));
@@ -333,7 +364,7 @@ mod tests {
             lines[1].ends_with(","),
             "analyzed nets have an empty reason"
         );
-        assert!(lines[2].starts_with("cmos130,net001,skipped,,,,,"));
+        assert!(lines[2].starts_with("cmos130,net001,skipped,,,,,,"));
         // Every row has the same column count (the skipped reason keeps
         // numeric columns empty rather than displacing them). Delimiters
         // inside quoted fields don't count.
@@ -349,7 +380,7 @@ mod tests {
                 .count()
         };
         for l in &lines {
-            assert_eq!(delimiters(l), 7, "row: {l}");
+            assert_eq!(delimiters(l), 8, "row: {l}");
         }
     }
 
@@ -374,6 +405,44 @@ mod tests {
             "NaN margin must serialize as empty:\n{c}"
         );
         assert!(!c.contains("null") && !c.contains("NaN"));
+    }
+
+    #[test]
+    fn constrained_findings_surface_in_all_formats() {
+        use sna_core::frame::{FrameCounters, FrameOutcome};
+        let mut run = sample_run();
+        run.corners[0].flow.report.findings[0].constrained = Some(FrameOutcome {
+            margin: 0.5,
+            receiver_metrics: GlitchMetrics {
+                peak: 0.125,
+                polarity: 1.0,
+                peak_time: 1e-9,
+                width: 2e-10,
+                area: 2.5e-11,
+            },
+            switch_times: vec![1e-9],
+            switching: vec![true],
+            counters: FrameCounters {
+                considered: 9,
+                pruned_window: 4,
+                pruned_mexcl: 2,
+                simulated: 3,
+            },
+        });
+        let j = to_json(&run);
+        assert!(j.contains("\"constrained_margin_v\": 0.5"));
+        assert!(j.contains("\"frame\": {\"considered\": 9, \"pruned_window\": 4, "));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let c = to_csv(&run);
+        assert!(
+            c.contains(",0.375,0.5,\n"),
+            "csv carries both margins:\n{c}"
+        );
+        let t = to_text(&run);
+        assert!(
+            t.contains("+0.500"),
+            "text shows the constrained margin:\n{t}"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use sna_cells::Cell;
-use sna_core::cluster::{ClusterSpec, MacromodelOptions};
+use sna_core::cluster::{ClusterSpec, MacromodelOptions, SwitchingWindow};
 use sna_core::library::{opts_fingerprint, solver_code, tech_fingerprint, Fnv, NoiseModelLibrary};
 use sna_core::nrc::NoiseRejectionCurve;
 use sna_core::sna::{analyze_cluster, ClusterFinding, Design, SnaOptions};
@@ -300,6 +300,17 @@ fn cell_fp(h: &mut Fnv, cell: &Cell) {
     h.write_f64(cell.strength);
 }
 
+fn window_fp(h: &mut Fnv, w: Option<SwitchingWindow>) {
+    match w {
+        Some(w) => {
+            h.write_u8(1);
+            h.write_f64(w.t_min);
+            h.write_f64(w.t_max);
+        }
+        None => h.write_u8(0),
+    }
+}
+
 /// FNV fingerprint of everything a cluster's finding depends on: the full
 /// [`ClusterSpec`] plus the analysis options. The compute backend is
 /// deliberately excluded — backends are bit-identical by construction, so
@@ -324,6 +335,7 @@ fn cluster_fingerprint(spec: &ClusterSpec, sna: &SnaOptions, mm: &MacromodelOpti
         None => h.write_u8(0),
     }
     cell_fp(&mut h, &spec.victim.receiver);
+    window_fp(&mut h, spec.victim.sensitivity);
     h.write_usize(spec.aggressors.len());
     for a in &spec.aggressors {
         cell_fp(&mut h, &a.cell);
@@ -331,6 +343,14 @@ fn cluster_fingerprint(spec: &ClusterSpec, sna: &SnaOptions, mm: &MacromodelOpti
         h.write_f64(a.input_slew);
         h.write_f64(a.switch_time);
         h.write_f64(a.receiver_cap);
+        window_fp(&mut h, a.window);
+        match a.mexcl_group {
+            Some(g) => {
+                h.write_u8(1);
+                h.write_u64(u64::from(g));
+            }
+            None => h.write_u8(0),
+        }
     }
     h.write_usize(spec.bus.segments);
     h.write_usize(spec.bus.wires.len());
@@ -353,6 +373,8 @@ fn cluster_fingerprint(spec: &ClusterSpec, sna: &SnaOptions, mm: &MacromodelOpti
     h.write_f64(sna.align_window);
     h.write_f64(sna.margin_band);
     h.write_bool(sna.strict);
+    h.write_usize(sna.frame_grid);
+    h.write_bool(sna.frame_exhaustive);
     h.write_bool(mm.include_driver_caps);
     h.write_usize(mm.reduction_order);
     h.write_f64(mm.expansion_point);
@@ -387,6 +409,34 @@ fn err_json(msg: &str) -> String {
     format!("{{\"ok\": false, \"error\": \"{}\"}}", esc(msg))
 }
 
+/// Parse a FRAME window edit value: `[t_min, t_max]` sets, `null` clears.
+/// Errors are returned pre-rendered as protocol responses.
+fn parse_window_field(
+    j: &Json,
+    field: &str,
+) -> std::result::Result<Option<SwitchingWindow>, String> {
+    match j {
+        Json::Null => Ok(None),
+        Json::Arr(v) if v.len() == 2 => {
+            let (Some(lo), Some(hi)) = (v[0].as_f64(), v[1].as_f64()) else {
+                return Err(err_json(&format!(
+                    "'{field}' endpoints must be numbers (seconds)"
+                )));
+            };
+            let w = SwitchingWindow::new(lo, hi);
+            if !w.is_valid() {
+                return Err(err_json(&format!(
+                    "'{field}' must be finite with t_min <= t_max"
+                )));
+            }
+            Ok(Some(w))
+        }
+        _ => Err(err_json(&format!(
+            "'{field}' must be [t_min, t_max] or null"
+        ))),
+    }
+}
+
 impl ServeState {
     /// Build a session from the CLI configuration: first corner only (a
     /// serve session holds one design), library warmed from
@@ -411,6 +461,8 @@ impl ServeState {
                 align_window: 400.0 * PS,
                 margin_band: cfg.guard_band,
                 strict: false,
+                frame_grid: cfg.frame_grid,
+                frame_exhaustive: cfg.frame_exhaustive,
             },
             mm: MacromodelOptions {
                 solver: cfg.solver,
@@ -419,7 +471,11 @@ impl ServeState {
             },
             threads: cfg.threads,
         };
-        let design = Design::random(&tech, cfg.clusters, cfg.seed);
+        let mut design = Design::random(&tech, cfg.clusters, cfg.seed);
+        if let Some(path) = &cfg.windows {
+            let edits = crate::windows::load_windows(Path::new(path))?;
+            crate::windows::apply_windows(&mut design, &edits)?;
+        }
         let nrc = library.nrc(&Cell::inv(tech, 1.0), true, &NRC_WIDTHS, opts.mm.solver)?;
         Ok(ServeState {
             design,
@@ -554,13 +610,20 @@ impl ServeState {
             .map(|&i| {
                 let name = &self.design.clusters[i].name;
                 let (_, f) = &self.memo[name];
+                // Constrained (FRAME) margin rides along only for clusters
+                // that carry constraints.
+                let constrained = match &f.constrained {
+                    Some(c) => format!(", \"constrained_margin\": {:.6}", c.margin),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"net\": \"{}\", \"verdict\": \"{}\", \"margin\": {:.6}, \"peak\": {:.6}, \"width\": {:.6e}}}",
+                    "{{\"net\": \"{}\", \"verdict\": \"{}\", \"margin\": {:.6}, \"peak\": {:.6}, \"width\": {:.6e}{}}}",
                     esc(name),
                     verdict_tag(f.verdict),
                     f.margin,
                     f.receiver_metrics.peak,
-                    f.receiver_metrics.width
+                    f.receiver_metrics.width,
+                    constrained
                 )
             })
             .collect();
@@ -605,6 +668,15 @@ impl ServeState {
             edited += 1;
         }
 
+        // Victim sensitivity window (FRAME): [t_min, t_max] or null.
+        if let Some(j) = query.get("sensitivity") {
+            match parse_window_field(j, "sensitivity") {
+                Ok(w) => spec.victim.sensitivity = w,
+                Err(e) => return e,
+            }
+            edited += 1;
+        }
+
         // Per-aggressor edits.
         let agg_fields = [
             "strength",
@@ -612,6 +684,8 @@ impl ServeState {
             "switch_time",
             "rising",
             "receiver_cap",
+            "window",
+            "mexcl",
         ];
         if let Some(j) = query.get("aggressor") {
             let Some(k) = j.as_usize() else {
@@ -632,6 +706,17 @@ impl ServeState {
                         };
                         spec.aggressors[k].rising = b;
                     }
+                    "window" => match parse_window_field(j, "window") {
+                        Ok(w) => spec.aggressors[k].window = w,
+                        Err(e) => return e,
+                    },
+                    "mexcl" => match j {
+                        Json::Null => spec.aggressors[k].mexcl_group = None,
+                        _ => match j.as_usize().and_then(|g| u32::try_from(g).ok()) {
+                            Some(g) => spec.aggressors[k].mexcl_group = Some(g),
+                            None => return err_json("'mexcl' must be a group id or null"),
+                        },
+                    },
                     _ => {
                         let Some(v) = j.as_f64() else {
                             return err_json(&format!("'{field}' must be a number"));
@@ -911,6 +996,42 @@ mod tests {
         let r = s.handle_line(r#"{"cmd": "analyze"}"#);
         assert!(r.contains("\"analyzed\": 2"), "{r}");
         assert!(r.contains("\"memo_hits\": 0"), "{r}");
+    }
+
+    #[test]
+    fn frame_edits_invalidate_only_the_target_cluster() {
+        let mut s = session(2);
+        let r = s.handle_line(r#"{"cmd": "analyze"}"#);
+        assert!(r.contains("\"analyzed\": 2"), "{r}");
+        assert!(!r.contains("constrained_margin"), "{r}");
+        // Constrain net000: wide window (always feasible) + a mexcl group.
+        let r = s.handle_line(
+            r#"{"cmd": "edit", "cluster": "net000", "aggressor": 0, "window": [0, 1e-8], "mexcl": 3}"#,
+        );
+        assert!(r.contains("\"edited_fields\": 2"), "{r}");
+        let r = s.handle_line(r#"{"cmd": "analyze"}"#);
+        assert!(r.contains("\"analyzed\": 1"), "{r}");
+        assert!(r.contains("\"memo_hits\": 1"), "{r}");
+        assert!(r.contains("constrained_margin"), "{r}");
+        // Victim sensitivity is a per-cluster field, no aggressor index.
+        let r = s.handle_line(r#"{"cmd": "edit", "cluster": "net000", "sensitivity": [0, 5e-9]}"#);
+        assert!(r.contains("\"edited_fields\": 1"), "{r}");
+        let r = s.handle_line(r#"{"cmd": "analyze"}"#);
+        assert!(r.contains("\"analyzed\": 1"), "{r}");
+        // Clearing the constraints restores the unconstrained report.
+        let r = s.handle_line(
+            r#"{"cmd": "edit", "cluster": "net000", "aggressor": 0, "window": null, "mexcl": null, "sensitivity": null}"#,
+        );
+        assert!(r.contains("\"edited_fields\": 3"), "{r}");
+        let r = s.handle_line(r#"{"cmd": "analyze"}"#);
+        assert!(!r.contains("constrained_margin"), "{r}");
+        // Malformed values are rejected without mutating the design.
+        let r = s.handle_line(
+            r#"{"cmd": "edit", "cluster": "net000", "aggressor": 0, "window": [2e-9, 1e-9]}"#,
+        );
+        assert!(r.contains("t_min <= t_max"), "{r}");
+        let r = s.handle_line(r#"{"cmd": "analyze"}"#);
+        assert!(r.contains("\"memo_hits\": 2"), "{r}");
     }
 
     #[test]

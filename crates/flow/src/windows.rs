@@ -1,0 +1,316 @@
+//! Switching-window constraint files (`--windows`).
+//!
+//! The synthetic design generator knows nothing about timing correlation,
+//! so FRAME constraints arrive out-of-band: a plain-text sidecar file maps
+//! net names to per-aggressor switching windows and mutual-exclusion
+//! groups, plus an optional victim sensitivity window. The grammar is one
+//! directive per line (`#` comments and blank lines ignored), times in
+//! seconds:
+//!
+//! ```text
+//! # net  aggressor-index  directive  args...
+//! net000 0 window 1e-9 3e-9      # aggressor 0 may switch in [1ns, 3ns]
+//! net000 1 mexcl 2               # aggressor 1 joins mutual-exclusion group 2
+//! net000 victim sensitivity 0.5e-9 2e-9
+//! ```
+//!
+//! Edits are parsed eagerly (every error carries its line number) and
+//! applied to a [`Design`] after generation; the patched specs are
+//! re-validated so a bad window fails the run up front rather than deep in
+//! the analysis.
+
+use sna_core::cluster::SwitchingWindow;
+use sna_core::sna::Design;
+use sna_spice::error::{Error, Result};
+
+/// One parsed directive from a windows file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowEdit {
+    /// Constrain aggressor `agg` of net `net` to switch inside `window`.
+    AggressorWindow {
+        /// Victim net name (the cluster name).
+        net: String,
+        /// Aggressor index within the cluster.
+        agg: usize,
+        /// Allowed switching interval.
+        window: SwitchingWindow,
+    },
+    /// Put aggressor `agg` of net `net` into mutual-exclusion group `group`.
+    AggressorMexcl {
+        /// Victim net name (the cluster name).
+        net: String,
+        /// Aggressor index within the cluster.
+        agg: usize,
+        /// Group id; at most one member of a group switches per candidate.
+        group: u32,
+    },
+    /// Set the victim sensitivity window of net `net`.
+    VictimSensitivity {
+        /// Victim net name (the cluster name).
+        net: String,
+        /// Interval in which the receiver input is sampled.
+        window: SwitchingWindow,
+    },
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> Error {
+    Error::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_time(line: usize, what: &str, raw: &str) -> Result<f64> {
+    raw.parse::<f64>()
+        .map_err(|_| parse_err(line, format!("bad {what} '{raw}' (expected seconds)")))
+}
+
+/// Parse the text of a windows file into edits.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the 1-based line number on any malformed
+/// directive.
+pub fn parse_windows(text: &str) -> Result<Vec<WindowEdit>> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let tok: Vec<&str> = content.split_whitespace().collect();
+        let net = tok[0].to_string();
+        if tok.len() >= 2 && tok[1] == "victim" {
+            match tok.get(2) {
+                Some(&"sensitivity") if tok.len() == 5 => {
+                    let window = SwitchingWindow::new(
+                        parse_time(line, "t_min", tok[3])?,
+                        parse_time(line, "t_max", tok[4])?,
+                    );
+                    if !window.is_valid() {
+                        return Err(parse_err(
+                            line,
+                            "sensitivity window must be finite and ordered",
+                        ));
+                    }
+                    edits.push(WindowEdit::VictimSensitivity { net, window });
+                }
+                _ => {
+                    return Err(parse_err(
+                        line,
+                        "expected '<net> victim sensitivity <t_min> <t_max>'",
+                    ))
+                }
+            }
+            continue;
+        }
+        if tok.len() < 3 {
+            return Err(parse_err(
+                line,
+                "expected '<net> <agg-idx> window|mexcl ...' or '<net> victim sensitivity ...'",
+            ));
+        }
+        let agg: usize = tok[1]
+            .parse()
+            .map_err(|_| parse_err(line, format!("bad aggressor index '{}'", tok[1])))?;
+        match tok[2] {
+            "window" => {
+                if tok.len() != 5 {
+                    return Err(parse_err(
+                        line,
+                        "expected '<net> <agg-idx> window <t_min> <t_max>'",
+                    ));
+                }
+                let window = SwitchingWindow::new(
+                    parse_time(line, "t_min", tok[3])?,
+                    parse_time(line, "t_max", tok[4])?,
+                );
+                if !window.is_valid() {
+                    return Err(parse_err(line, "window must be finite and ordered"));
+                }
+                edits.push(WindowEdit::AggressorWindow { net, agg, window });
+            }
+            "mexcl" => {
+                if tok.len() != 4 {
+                    return Err(parse_err(line, "expected '<net> <agg-idx> mexcl <group>'"));
+                }
+                let group: u32 = tok[3]
+                    .parse()
+                    .map_err(|_| parse_err(line, format!("bad mexcl group '{}'", tok[3])))?;
+                edits.push(WindowEdit::AggressorMexcl { net, agg, group });
+            }
+            other => {
+                return Err(parse_err(
+                    line,
+                    format!("unknown directive '{other}' (expected window or mexcl)"),
+                ))
+            }
+        }
+    }
+    Ok(edits)
+}
+
+/// Read and parse a windows file from disk.
+///
+/// # Errors
+///
+/// I/O failures surface as [`Error::InvalidAnalysis`]; syntax errors as
+/// [`Error::Parse`].
+pub fn load_windows(path: &std::path::Path) -> Result<Vec<WindowEdit>> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        Error::InvalidAnalysis(format!(
+            "cannot read windows file '{}': {e}",
+            path.display()
+        ))
+    })?;
+    parse_windows(&text)
+}
+
+/// Apply edits to a generated design, then re-validate every touched spec.
+///
+/// # Errors
+///
+/// Unknown nets and out-of-range aggressor indices are
+/// [`Error::InvalidAnalysis`]; so are patched specs that fail
+/// [`sna_core::cluster::ClusterSpec::validate`].
+pub fn apply_windows(design: &mut Design, edits: &[WindowEdit]) -> Result<()> {
+    let mut touched = Vec::new();
+    for edit in edits {
+        let net = match edit {
+            WindowEdit::AggressorWindow { net, .. }
+            | WindowEdit::AggressorMexcl { net, .. }
+            | WindowEdit::VictimSensitivity { net, .. } => net,
+        };
+        let pos = design
+            .clusters
+            .iter()
+            .position(|c| c.name == *net)
+            .ok_or_else(|| {
+                Error::InvalidAnalysis(format!("windows file names unknown net '{net}'"))
+            })?;
+        let spec = &mut design.clusters[pos].spec;
+        let check_agg = |agg: usize, n: usize| -> Result<()> {
+            if agg >= n {
+                return Err(Error::InvalidAnalysis(format!(
+                    "windows file: net '{net}' has {n} aggressors, index {agg} is out of range"
+                )));
+            }
+            Ok(())
+        };
+        match edit {
+            WindowEdit::AggressorWindow { agg, window, .. } => {
+                check_agg(*agg, spec.aggressors.len())?;
+                spec.aggressors[*agg].window = Some(*window);
+            }
+            WindowEdit::AggressorMexcl { agg, group, .. } => {
+                check_agg(*agg, spec.aggressors.len())?;
+                spec.aggressors[*agg].mexcl_group = Some(*group);
+            }
+            WindowEdit::VictimSensitivity { window, .. } => {
+                spec.victim.sensitivity = Some(*window);
+            }
+        }
+        if !touched.contains(&pos) {
+            touched.push(pos);
+        }
+    }
+    for pos in touched {
+        design.clusters[pos].spec.validate()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sna_cells::Technology;
+
+    const SAMPLE: &str = "\
+# FRAME constraints for the smoke design
+net000 0 window 1e-9 3e-9
+net000 1 mexcl 2   # trailing comment
+net001 victim sensitivity 0.5e-9 2e-9
+
+net001 0 window 2e-9 2e-9
+";
+
+    #[test]
+    fn sample_file_parses_to_edits() {
+        let edits = parse_windows(SAMPLE).unwrap();
+        assert_eq!(edits.len(), 4);
+        assert_eq!(
+            edits[0],
+            WindowEdit::AggressorWindow {
+                net: "net000".into(),
+                agg: 0,
+                window: SwitchingWindow::new(1e-9, 3e-9),
+            }
+        );
+        assert_eq!(
+            edits[1],
+            WindowEdit::AggressorMexcl {
+                net: "net000".into(),
+                agg: 1,
+                group: 2,
+            }
+        );
+        assert!(matches!(edits[2], WindowEdit::VictimSensitivity { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("net0 0 window 1e-9", 1, "expected"),
+            ("\nnet0 0 window 3e-9 1e-9", 2, "ordered"),
+            ("net0 x window 1e-9 2e-9", 1, "aggressor index"),
+            ("net0 0 wiggle 1 2", 1, "unknown directive"),
+            ("net0 victim sense 1 2", 1, "victim sensitivity"),
+            ("net0 0 mexcl -1", 1, "mexcl group"),
+        ] {
+            match parse_windows(text) {
+                Err(Error::Parse { line: l, message }) => {
+                    assert_eq!(l, line, "{text}");
+                    assert!(message.contains(needle), "{text}: {message}");
+                }
+                other => panic!("{text}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edits_apply_to_a_generated_design() {
+        let tech = Technology::cmos130();
+        let mut design = Design::random(&tech, 2, 7);
+        let n_aggs = design.clusters[0].spec.aggressors.len();
+        let edits = parse_windows(
+            "net000 0 window 1e-9 3e-9\nnet000 0 mexcl 1\nnet001 victim sensitivity 0 1e-9\n",
+        )
+        .unwrap();
+        apply_windows(&mut design, &edits).unwrap();
+        assert!(n_aggs >= 1);
+        let spec = &design.clusters[0].spec;
+        assert_eq!(
+            spec.aggressors[0].window,
+            Some(SwitchingWindow::new(1e-9, 3e-9))
+        );
+        assert_eq!(spec.aggressors[0].mexcl_group, Some(1));
+        assert!(spec.has_frame_constraints());
+        assert_eq!(
+            design.clusters[1].spec.victim.sensitivity,
+            Some(SwitchingWindow::new(0.0, 1e-9))
+        );
+
+        // Unknown nets and bad indices are rejected with context.
+        let bad = parse_windows("net999 0 window 0 1\n").unwrap();
+        assert!(apply_windows(&mut design, &bad)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown net"));
+        let bad = parse_windows(&format!("net000 {n_aggs} window 0 1\n")).unwrap();
+        assert!(apply_windows(&mut design, &bad)
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+}

@@ -61,10 +61,21 @@ pub enum Metric {
     ServeReanalyzed,
     /// Cluster analyses `sna serve` satisfied from its result memo.
     ServeMemoHits,
+    /// Clusters that went through a constrained FRAME alignment analysis.
+    FrameClusters,
+    /// Structural alignment candidates considered by FRAME enumerations.
+    FrameCandidatesConsidered,
+    /// Candidates pruned by switching-window / sensitivity interval
+    /// analysis before simulation.
+    FramePrunedWindow,
+    /// Window-surviving candidates pruned by mutual-exclusion groups.
+    FramePrunedMexcl,
+    /// Feasible candidates actually simulated by the batched engine.
+    FrameSimulated,
 }
 
 /// Number of [`Metric`] variants; recorders are `[AtomicU64; METRIC_COUNT]`.
-pub const METRIC_COUNT: usize = 25;
+pub const METRIC_COUNT: usize = 30;
 
 /// Every metric, in index order. Reports iterate this so the document and
 /// the enum can never drift apart.
@@ -94,6 +105,11 @@ pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
     Metric::ServeQueries,
     Metric::ServeReanalyzed,
     Metric::ServeMemoHits,
+    Metric::FrameClusters,
+    Metric::FrameCandidatesConsidered,
+    Metric::FramePrunedWindow,
+    Metric::FramePrunedMexcl,
+    Metric::FrameSimulated,
 ];
 
 impl Metric {
@@ -125,6 +141,11 @@ impl Metric {
             Metric::ServeQueries => "queries",
             Metric::ServeReanalyzed => "reanalyzed",
             Metric::ServeMemoHits => "memo_hits",
+            Metric::FrameClusters => "clusters",
+            Metric::FrameCandidatesConsidered => "considered",
+            Metric::FramePrunedWindow => "pruned_window",
+            Metric::FramePrunedMexcl => "pruned_mexcl",
+            Metric::FrameSimulated => "simulated",
         }
     }
 }

@@ -53,6 +53,15 @@ pub struct SnaCard {
     pub aggressors: Vec<String>,
     /// Noise-margin threshold in volts, if given on the card.
     pub threshold: Option<f64>,
+    /// Switching windows `window=<src>:<t_min>:<t_max>` (comma-repeatable):
+    /// the named aggressor source may only switch inside `[t_min, t_max]`.
+    pub windows: Vec<(String, f64, f64)>,
+    /// Mutual-exclusion groups `mexcl=<src>:<group>` (comma-repeatable):
+    /// at most one source per group switches in any candidate.
+    pub mexcl: Vec<(String, u32)>,
+    /// Victim sensitivity window `sensitivity=<t_min>:<t_max>`: the
+    /// interval in which the receiver samples the victim.
+    pub sensitivity: Option<(f64, f64)>,
 }
 
 /// A parsed deck: the flattened circuit plus any analysis statements found.
@@ -700,7 +709,9 @@ impl<'a> Elab<'a> {
         Ok(())
     }
 
-    /// `.sna victim=<node> [aggressors=...] [threshold=...] [name=...]`.
+    /// `.sna victim=<node> [aggressors=...] [threshold=...] [name=...]
+    /// [window=<src>:<t_min>:<t_max>,...] [mexcl=<src>:<group>,...]
+    /// [sensitivity=<t_min>:<t_max>]`.
     fn sna_card(&mut self, toks: &[String], loc: Loc, scope: &Scope) -> Result<()> {
         let (pos, kvs) = split_kv(toks.get(1..).unwrap_or(&[]));
         if let Some(stray) = pos.first() {
@@ -714,6 +725,9 @@ impl<'a> Elab<'a> {
             victim: String::new(),
             aggressors: Vec::new(),
             threshold: None,
+            windows: Vec::new(),
+            mexcl: Vec::new(),
+            sensitivity: None,
         };
         for (k, vals) in kvs {
             let first = vals
@@ -724,6 +738,59 @@ impl<'a> Elab<'a> {
                 "aggressors" => card.aggressors = vals.iter().map(|s| s.to_string()).collect(),
                 "threshold" => card.threshold = Some(self.num_in(scope, first, loc)?),
                 "name" => card.name = Some(first.to_string()),
+                "window" => {
+                    for v in &vals {
+                        let parts: Vec<&str> = v.split(':').collect();
+                        if parts.len() != 3 || parts[0].is_empty() {
+                            return Err(self.err(
+                                loc,
+                                format!(".sna window '{v}' must be <source>:<t_min>:<t_max>"),
+                            ));
+                        }
+                        let t_min = self.num_in(scope, parts[1], loc)?;
+                        let t_max = self.num_in(scope, parts[2], loc)?;
+                        if !(t_min.is_finite() && t_max.is_finite() && t_min <= t_max) {
+                            return Err(self.err(
+                                loc,
+                                format!(".sna window '{v}' needs t_min <= t_max, both finite"),
+                            ));
+                        }
+                        card.windows.push((parts[0].to_string(), t_min, t_max));
+                    }
+                }
+                "mexcl" => {
+                    for v in &vals {
+                        let parts: Vec<&str> = v.split(':').collect();
+                        let group = parts.get(1).and_then(|g| g.parse::<u32>().ok());
+                        match (parts.len(), parts[0].is_empty(), group) {
+                            (2, false, Some(g)) => card.mexcl.push((parts[0].to_string(), g)),
+                            _ => {
+                                return Err(self.err(
+                                    loc,
+                                    format!(".sna mexcl '{v}' must be <source>:<group>"),
+                                ))
+                            }
+                        }
+                    }
+                }
+                "sensitivity" => {
+                    let parts: Vec<&str> = first.split(':').collect();
+                    if parts.len() != 2 {
+                        return Err(self.err(
+                            loc,
+                            format!(".sna sensitivity '{first}' must be <t_min>:<t_max>"),
+                        ));
+                    }
+                    let t_min = self.num_in(scope, parts[0], loc)?;
+                    let t_max = self.num_in(scope, parts[1], loc)?;
+                    if !(t_min.is_finite() && t_max.is_finite() && t_min <= t_max) {
+                        return Err(self.err(
+                            loc,
+                            format!(".sna sensitivity '{first}' needs t_min <= t_max, both finite"),
+                        ));
+                    }
+                    card.sensitivity = Some((t_min, t_max));
+                }
                 other => {
                     return Err(self.err(loc, format!("unknown .sna key '{other}'")));
                 }
@@ -1005,6 +1072,42 @@ impl<'a> Elab<'a> {
                     return Err(self.err(
                         *loc,
                         format!(".sna aggressor '{a}' is not an independent V or I source"),
+                    ));
+                }
+            }
+            // FRAME constraint keys name aggressor sources; when the card
+            // lists its aggressors explicitly, a constraint on a source
+            // outside that list is a silent no-op — reject it instead.
+            let constrained = card
+                .windows
+                .iter()
+                .map(|(s, _, _)| s)
+                .chain(card.mexcl.iter().map(|(s, _)| s));
+            for src in constrained {
+                if !card.aggressors.is_empty()
+                    && !card.aggressors.iter().any(|a| a.eq_ignore_ascii_case(src))
+                {
+                    return Err(self.err(
+                        *loc,
+                        format!(".sna constraint names source '{src}' which is not in aggressors="),
+                    ));
+                }
+                let ok = self
+                    .circuit
+                    .find_element(src)
+                    .map(|i| {
+                        matches!(
+                            self.circuit.element(i),
+                            Element::VSource { .. } | Element::ISource { .. }
+                        )
+                    })
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(self.err(
+                        *loc,
+                        format!(
+                            ".sna constraint source '{src}' is not an independent V or I source"
+                        ),
                     ));
                 }
             }
@@ -1716,14 +1819,27 @@ pub fn dump_parsed(deck: &ParsedDeck) -> String {
     }
     out.push_str(&format!("sna_cards: {}\n", deck.sna_cards.len()));
     for card in &deck.sna_cards {
+        // FRAME constraint fields are appended only when present so that
+        // dumps of window-less decks stay byte-identical.
+        let mut frame = String::new();
+        for (src, lo, hi) in &card.windows {
+            frame.push_str(&format!(" window={src}:{lo:e}:{hi:e}"));
+        }
+        for (src, g) in &card.mexcl {
+            frame.push_str(&format!(" mexcl={src}:{g}"));
+        }
+        if let Some((lo, hi)) = card.sensitivity {
+            frame.push_str(&format!(" sensitivity={lo:e}:{hi:e}"));
+        }
         out.push_str(&format!(
-            "  victim={} aggressors=[{}] threshold={} name={}\n",
+            "  victim={} aggressors=[{}] threshold={} name={}{}\n",
             card.victim,
             card.aggressors.join(","),
             card.threshold
                 .map(|t| format!("{t:e}"))
                 .unwrap_or_else(|| "none".into()),
-            card.name.as_deref().unwrap_or("none")
+            card.name.as_deref().unwrap_or("none"),
+            frame
         ));
     }
     out
@@ -2065,11 +2181,82 @@ R3 ag2 0 1k
         assert_eq!(card.aggressors, vec!["Va1".to_string(), "Va2".to_string()]);
         assert_eq!(card.threshold, Some(0.4));
         assert_eq!(card.name.as_deref(), Some("bus0"));
+        // Constraint-free cards keep empty FRAME fields.
+        assert!(card.windows.is_empty());
+        assert!(card.mexcl.is_empty());
+        assert_eq!(card.sensitivity, None);
         // Victim must exist; aggressors must be sources.
         let bad = "t\nR1 a 0 1k\n.sna victim=zz\n.end\n";
         assert!(parse_deck(bad).is_err());
         let bad = "t\nR1 a 0 1k\n.sna victim=a aggressors=R1\n.end\n";
         assert!(parse_deck(bad).is_err());
+    }
+
+    #[test]
+    fn sna_frame_constraints_parse_and_verify() {
+        let deck = "\
+bus
+V1 vic 0 DC 0
+Va1 ag1 0 DC 0
+Va2 ag2 0 DC 0
+R1 vic 0 1k
+R2 ag1 0 1k
+R3 ag2 0 1k
+.sna victim=vic aggressors=Va1,Va2 threshold=0.4
++ window=Va1:1n:2n,Va2:0:2n mexcl=Va1:1,Va2:1 sensitivity=0.5n:4n
+.end
+";
+        let p = parse_deck(deck).unwrap();
+        let card = &p.sna_cards[0];
+        assert_eq!(
+            card.windows,
+            vec![
+                ("Va1".to_string(), 1e-9, 2e-9),
+                ("Va2".to_string(), 0.0, 2e-9)
+            ]
+        );
+        assert_eq!(
+            card.mexcl,
+            vec![("Va1".to_string(), 1), ("Va2".to_string(), 1)]
+        );
+        assert_eq!(card.sensitivity, Some((0.5e-9, 4e-9)));
+        // The dump carries the constraints (appended, so window-less decks
+        // are unchanged).
+        let dump = dump_parsed(&p);
+        assert!(dump.contains("window=Va1:1e-9:2e-9"), "{dump}");
+        assert!(dump.contains("mexcl=Va2:1"), "{dump}");
+        assert!(dump.contains("sensitivity=5e-10:4e-9"), "{dump}");
+
+        // Malformed or inconsistent constraints are rejected with context.
+        for (bad, needle) in [
+            (
+                ".sna victim=vic aggressors=Va1 window=Va1:3n:1n",
+                "t_min <= t_max",
+            ),
+            (".sna victim=vic aggressors=Va1 window=Va1:1n", "window"),
+            (".sna victim=vic aggressors=Va1 mexcl=Va1", "mexcl"),
+            (
+                ".sna victim=vic aggressors=Va1 sensitivity=1n",
+                "sensitivity",
+            ),
+            (
+                ".sna victim=vic aggressors=Va1 window=Va2:1n:3n",
+                "not in aggressors=",
+            ),
+            (
+                ".sna victim=vic window=R1:1n:3n",
+                "not an independent V or I source",
+            ),
+        ] {
+            let deck = format!(
+                "t\nV1 vic 0 DC 0\nVa1 ag1 0 DC 0\nVa2 ag2 0 DC 0\n\
+                 R1 vic 0 1k\nR2 ag1 0 1k\nR3 ag2 0 1k\n{bad}\n.end\n"
+            );
+            match parse_deck(&deck) {
+                Err(e) => assert!(e.to_string().contains(needle), "{bad}: {e}"),
+                Ok(_) => panic!("{bad}: expected rejection"),
+            }
+        }
     }
 
     #[test]
